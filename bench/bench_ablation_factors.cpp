@@ -1,0 +1,63 @@
+// Ablation: which demand factor earns its keep?
+//
+// The on-demand mechanism's demand indicator blends three criteria with AHP
+// weights (paper: W = (0.648, 0.230, 0.122)). This bench re-runs the
+// default campaign with the indicator restricted to single factors, equal
+// weights, and the paper weights, holding everything else fixed — the
+// design-choice evidence DESIGN.md calls out.
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+#include "incentive/on_demand_mechanism.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig cfg = exp::experiment_from_config(flags);
+  exp::print_experiment_header(cfg, "Ablation: demand-indicator factors");
+
+  struct Variant {
+    const char* label;
+    std::vector<double> weights;  // (deadline, progress, neighbors)
+  };
+  const std::vector<Variant> variants = {
+      {"paper (AHP)", {}},  // empty -> Table I weights
+      {"equal", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"deadline-only", {1.0, 0.0, 0.0}},
+      {"progress-only", {0.0, 1.0, 0.0}},
+      {"neighbors-only", {0.0, 0.0, 1.0}},
+  };
+
+  TextTable table({"indicator", "coverage %", "completeness %", "variance",
+                   "$ / measurement", "total paid $"});
+  for (const Variant& v : variants) {
+    const exp::MechanismFactory factory =
+        [&v, &cfg](const model::World& world,
+                   Rng&) -> std::unique_ptr<incentive::IncentiveMechanism> {
+      const auto rule = incentive::RewardRule::from_budget(
+          cfg.mech_params.platform_budget, world.total_required(),
+          cfg.mech_params.lambda, cfg.mech_params.demand_levels);
+      auto indicator =
+          v.weights.empty()
+              ? incentive::DemandIndicator::with_paper_defaults()
+              : incentive::DemandIndicator({}, v.weights);
+      return std::make_unique<incentive::OnDemandMechanism>(
+          std::move(indicator),
+          incentive::DemandLevelScale(cfg.mech_params.demand_levels), rule);
+    };
+    const exp::AggregateResult r = exp::run_experiment_with(cfg, factory);
+    table.add_row({v.label, format_fixed(r.coverage.mean(), 2),
+                   format_fixed(r.completeness.mean(), 2),
+                   format_fixed(r.measurement_variance.mean(), 2),
+                   format_fixed(r.reward_per_measurement.mean(), 3),
+                   format_fixed(r.total_paid.mean(), 2)});
+  }
+  table.print(std::cout);
+  exp::maybe_dump_csv(flags, "ablation_factors", table);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: the neighbor radius R.
+//
+// The paper introduces R (users within R meters of a task are its
+// "neighboring users", feeding demand factor X3) but never fixes a value;
+// DESIGN.md documents our 500 m default. This bench sweeps R from "nobody
+// is a neighbor" to "everybody is".
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  exp::print_experiment_header(base, "Ablation: neighbor radius R");
+
+  TextTable table({"radius m", "coverage %", "completeness %", "variance",
+                   "$ / measurement"});
+  for (const double radius : {100.0, 250.0, 500.0, 1000.0, 1500.0, 3000.0}) {
+    exp::ExperimentConfig cfg = base;
+    cfg.scenario.neighbor_radius = radius;
+    const exp::AggregateResult r = exp::run_experiment(cfg);
+    table.add_row({format_fixed(radius, 0), format_fixed(r.coverage.mean(), 2),
+                   format_fixed(r.completeness.mean(), 2),
+                   format_fixed(r.measurement_variance.mean(), 2),
+                   format_fixed(r.reward_per_measurement.mean(), 3)});
+  }
+  table.print(std::cout);
+  exp::maybe_dump_csv(flags, "ablation_radius", table);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: campaign-level impact of the task-selection solver.
+//
+// Fig. 5 compares DP and greedy per-user; this bench asks what the solver
+// choice does to the *platform's* metrics over whole campaigns, and how
+// long each solver takes, for all five selectors.
+#include <chrono>
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+  using clock = std::chrono::steady_clock;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  exp::print_experiment_header(base, "Ablation: task-selection solver");
+
+  TextTable table({"selector", "completeness %", "avg meas / task",
+                   "avg user profit r1 $", "wall ms / campaign"});
+  for (const auto kind :
+       {select::SelectorKind::kDp, select::SelectorKind::kBranchBound,
+        select::SelectorKind::kBeamSearch, select::SelectorKind::kIls,
+        select::SelectorKind::kGreedy2Opt, select::SelectorKind::kGreedy}) {
+    exp::ExperimentConfig cfg = base;
+    cfg.selector = kind;
+    const auto start = clock::now();
+    const exp::AggregateResult r = exp::run_experiment(cfg);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             clock::now() - start)
+                             .count() /
+                         cfg.repetitions;
+    table.add_row({select::selector_name(kind),
+                   format_fixed(r.completeness.mean(), 2),
+                   format_fixed(r.avg_measurements.mean(), 2),
+                   format_fixed(r.round_mean_profit[0].mean(), 3),
+                   format_fixed(elapsed, 1)});
+  }
+  table.print(std::cout);
+  exp::maybe_dump_csv(flags, "ablation_selector", table);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension: fairness across users, and the participation-target baseline.
+//
+// The paper measures balance across tasks (Fig. 9a); this bench measures
+// the dual — how evenly the platform's money spreads across the *crowd* —
+// via the Gini coefficient and Jain's index of per-user rewards, for all
+// four mechanisms (the three §VI ones plus the participation-target
+// global-price baseline in the spirit of Lee & Hoh).
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  exp::print_experiment_header(base, "Extension: user-side fairness");
+
+  TextTable table({"mechanism", "active users %", "reward gini", "reward jain",
+                   "completeness %", "$ / measurement"});
+  std::vector<incentive::MechanismKind> mechanisms = exp::all_mechanisms();
+  mechanisms.push_back(incentive::MechanismKind::kParticipation);
+  for (const auto kind : mechanisms) {
+    exp::ExperimentConfig cfg = base;
+    cfg.mechanism = kind;
+    const exp::AggregateResult r = exp::run_experiment(cfg);
+    table.add_row({incentive::mechanism_name(kind),
+                   format_fixed(100.0 * r.active_fraction.mean(), 1),
+                   format_fixed(r.reward_gini.mean(), 3),
+                   format_fixed(r.reward_jain.mean(), 3),
+                   format_fixed(r.completeness.mean(), 2),
+                   format_fixed(r.reward_per_measurement.mean(), 3)});
+  }
+  table.print(std::cout);
+  exp::maybe_dump_csv(flags, "ext_fairness", table);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

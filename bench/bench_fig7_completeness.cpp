@@ -1,0 +1,43 @@
+// Fig. 7 — overall completeness (% of required measurements delivered
+// before the deadlines).
+//  (a) vs number of users;  (b) vs sensing round at a fixed user count.
+#include <iostream>
+
+#include "common/config.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  const std::vector<int> users = exp::user_counts_from_config(flags);
+  exp::print_experiment_header(base, "Fig. 7: overall completeness");
+
+  exp::UserSweep sweep(base, users, exp::all_mechanisms());
+  sweep.run();
+  std::cout << "--- Fig. 7(a): overall completeness % vs number of users ---\n";
+  const TextTable fig7a = sweep.table(
+      [](const exp::AggregateResult& r) { return r.completeness.mean(); });
+  fig7a.print(std::cout);
+  std::cout << "\n(tasks fully completed before deadline, %)\n";
+  const TextTable fig7a_tasks = sweep.table(
+      [](const exp::AggregateResult& r) { return r.tasks_completed.mean(); });
+  fig7a_tasks.print(std::cout);
+
+  exp::RoundSeries series(base, exp::all_mechanisms());
+  series.run();
+  std::cout << "\n--- Fig. 7(b): overall completeness % vs round (users="
+            << base.scenario.num_users << ") ---\n";
+  const TextTable fig7b = series.table(
+      [](const exp::AggregateResult& r, std::size_t k) {
+        return r.round_completeness[k].mean();
+      },
+      /*first_round=*/5);
+  fig7b.print(std::cout);
+  exp::maybe_dump_csv(flags, "fig7a_completeness_vs_users", fig7a);
+  exp::maybe_dump_csv(flags, "fig7a_tasks_completed_vs_users", fig7a_tasks);
+  exp::maybe_dump_csv(flags, "fig7b_completeness_vs_round", fig7b);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

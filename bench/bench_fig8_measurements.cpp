@@ -1,0 +1,38 @@
+// Fig. 8 — number of measurements.
+//  (a) average # of measurements per task (capped at phi) vs number of
+//      users, at the end of the campaign;
+//  (b) total new measurements delivered in each round at a fixed user count.
+#include <iostream>
+
+#include "common/config.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  const std::vector<int> users = exp::user_counts_from_config(flags);
+  exp::print_experiment_header(base, "Fig. 8: number of measurements");
+
+  exp::UserSweep sweep(base, users, exp::all_mechanisms());
+  sweep.run();
+  std::cout << "--- Fig. 8(a): average # of measurements per task ---\n";
+  const TextTable fig8a = sweep.table(
+      [](const exp::AggregateResult& r) { return r.avg_measurements.mean(); });
+  fig8a.print(std::cout);
+
+  exp::RoundSeries series(base, exp::all_mechanisms());
+  series.run();
+  std::cout << "\n--- Fig. 8(b): new measurements per round (users="
+            << base.scenario.num_users << ") ---\n";
+  const TextTable fig8b =
+      series.table([](const exp::AggregateResult& r, std::size_t k) {
+        return r.round_new_measurements[k].mean();
+      });
+  fig8b.print(std::cout);
+  exp::maybe_dump_csv(flags, "fig8a_avg_measurements_vs_users", fig8a);
+  exp::maybe_dump_csv(flags, "fig8b_new_measurements_vs_round", fig8b);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

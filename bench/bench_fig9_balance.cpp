@@ -1,0 +1,35 @@
+// Fig. 9 — participation balance and platform welfare.
+//  (a) variance of per-task measurements vs number of users;
+//  (b) average reward paid per measurement vs number of users.
+#include <iostream>
+
+#include "common/config.h"
+#include "exp/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  const std::vector<int> users = exp::user_counts_from_config(flags);
+  exp::print_experiment_header(
+      base, "Fig. 9: measurement variance & reward per measurement");
+
+  exp::UserSweep sweep(base, users, exp::all_mechanisms());
+  sweep.run();
+  std::cout << "--- Fig. 9(a): variance of measurements ---\n";
+  const TextTable fig9a = sweep.table([](const exp::AggregateResult& r) {
+    return r.measurement_variance.mean();
+  });
+  fig9a.print(std::cout);
+
+  std::cout << "\n--- Fig. 9(b): average reward per measurement ($) ---\n";
+  const TextTable fig9b = sweep.table([](const exp::AggregateResult& r) {
+    return r.reward_per_measurement.mean();
+  });
+  fig9b.print(std::cout);
+  exp::maybe_dump_csv(flags, "fig9a_variance_vs_users", fig9a);
+  exp::maybe_dump_csv(flags, "fig9b_reward_per_measurement_vs_users", fig9b);
+  exp::warn_unconsumed(flags);
+  return 0;
+}

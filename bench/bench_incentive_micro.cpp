@@ -1,0 +1,91 @@
+// Microbenchmarks for the platform-side per-round work: AHP weight
+// extraction, demand evaluation over a full world, neighbor counting via
+// the spatial grid, and a whole simulated round.
+#include <benchmark/benchmark.h>
+
+#include "ahp/comparison_matrix.h"
+#include "ahp/weights.h"
+#include "common/rng.h"
+#include "incentive/demand.h"
+#include "incentive/on_demand_mechanism.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mcs;
+
+void BM_AhpRowAverage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  ahp::ComparisonMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, static_cast<double>(rng.uniform_int(1, 9)));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ahp::row_average_weights(m));
+  }
+}
+
+void BM_AhpEigenvector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  ahp::ComparisonMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, static_cast<double>(rng.uniform_int(1, 9)));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ahp::eigenvector_weights(m));
+  }
+}
+
+void BM_DemandEvaluation(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.num_tasks = static_cast<int>(state.range(0));
+  params.num_users = 100;
+  Rng rng(7);
+  const model::World world = sim::generate_world(params, rng);
+  const auto indicator = incentive::DemandIndicator::with_paper_defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indicator.normalized_demands(world, 3));
+  }
+}
+
+void BM_NeighborCounts(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.num_users = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const model::World world = sim::generate_world(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.neighbor_counts());
+  }
+}
+
+void BM_FullRound(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.num_users = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    model::World world = sim::generate_world(params, rng);
+    Rng mech_rng(1);
+    auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                          world, {}, mech_rng);
+    auto sel = select::make_selector(select::SelectorKind::kDp);
+    sim::Simulator s(std::move(world), std::move(mech), std::move(sel), {});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.step());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_AhpRowAverage)->Arg(3)->Arg(8)->Arg(15);
+BENCHMARK(BM_AhpEigenvector)->Arg(3)->Arg(8)->Arg(15);
+BENCHMARK(BM_DemandEvaluation)->Arg(20)->Arg(100)->Arg(500);
+BENCHMARK(BM_NeighborCounts)->Arg(40)->Arg(140)->Arg(1000);
+BENCHMARK(BM_FullRound)->Arg(40)->Arg(100)->Arg(140);

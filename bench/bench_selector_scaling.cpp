@@ -1,0 +1,64 @@
+// Microbenchmarks for the §V complexity claims: the DP solver is
+// O(m^2 * 2^m), greedy is O(m^2), branch-and-bound sits in between in
+// practice. Instances are random but fixed per size (seeded).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "select/branch_bound_selector.h"
+#include "select/dp_selector.h"
+#include "select/greedy_selector.h"
+#include "select/instance.h"
+
+namespace {
+
+using namespace mcs;
+
+select::SelectionInstance make_instance(int m, std::uint64_t seed) {
+  Rng rng(seed);
+  select::SelectionInstance inst;
+  inst.start = {rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)};
+  inst.travel = {};
+  inst.time_budget = 1200.0;  // 2400 m of walking
+  for (int i = 0; i < m; ++i) {
+    inst.candidates.push_back({static_cast<TaskId>(i),
+                               {rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)},
+                               rng.uniform(0.5, 2.5)});
+  }
+  return inst;
+}
+
+void BM_DpSelector(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto inst = make_instance(m, 0xabcd + static_cast<std::uint64_t>(m));
+  const select::DpSelector dp(/*candidate_cap=*/20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.select(inst));
+  }
+  state.SetComplexityN(m);
+}
+
+void BM_GreedySelector(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto inst = make_instance(m, 0xabcd + static_cast<std::uint64_t>(m));
+  const select::GreedySelector greedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy.select(inst));
+  }
+  state.SetComplexityN(m);
+}
+
+void BM_BranchBoundSelector(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto inst = make_instance(m, 0xabcd + static_cast<std::uint64_t>(m));
+  const select::BranchBoundSelector bb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bb.select(inst));
+  }
+  state.SetComplexityN(m);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DpSelector)->DenseRange(4, 18, 2);
+BENCHMARK(BM_GreedySelector)->DenseRange(4, 18, 2)->Arg(64)->Arg(256);
+BENCHMARK(BM_BranchBoundSelector)->DenseRange(4, 18, 2);

@@ -1,0 +1,114 @@
+// Air-quality monitoring campaign with staggered deadlines.
+//
+// An environmental agency needs PM2.5 readings at 30 stations: 10 urgent
+// stations (deadline round 4, near a pollution incident), 20 routine ones
+// (deadline round 12). The demand indicator's deadline factor should pull
+// participants toward the urgent stations first; this example tracks when
+// each group reaches its quota and prints a per-round timeline.
+//
+//   ./air_quality_campaign [--users=120] [--seed=11]
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mcs;
+
+constexpr Round kUrgentDeadline = 4;
+constexpr Round kRoutineDeadline = 12;
+constexpr int kUrgentStations = 10;
+constexpr int kRoutineStations = 20;
+
+model::World make_stations(const sim::ScenarioParams& p, Rng& rng) {
+  geo::TravelModel travel;
+  travel.speed_mps = p.speed_mps;
+  travel.cost_per_meter = p.cost_per_meter;
+  model::World world(geo::BoundingBox::square(p.area_side), travel,
+                     p.neighbor_radius);
+  // Urgent stations cluster around the incident site in the north-east.
+  const geo::Point incident{2300.0, 2300.0};
+  for (int i = 0; i < kUrgentStations; ++i) {
+    world.add_task(world.area().clamp({incident.x + rng.normal(0.0, 350.0),
+                                       incident.y + rng.normal(0.0, 350.0)}),
+                   kUrgentDeadline, p.required_measurements);
+  }
+  for (int i = 0; i < kRoutineStations; ++i) {
+    world.add_task({rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)},
+                   kRoutineDeadline, p.required_measurements);
+  }
+  for (int i = 0; i < p.num_users; ++i) {
+    world.add_user({rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)},
+                   rng.uniform(p.user_budget_min_s, p.user_budget_max_s));
+  }
+  return world;
+}
+
+double group_completeness(const model::World& world, Round deadline) {
+  long long req = 0, got = 0;
+  for (const model::Task& t : world.tasks()) {
+    if (t.deadline() != deadline) continue;
+    req += t.required();
+    got += std::min(t.received(), t.required());
+  }
+  return req ? 100.0 * static_cast<double>(got) / static_cast<double>(req)
+             : 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig cfg = exp::experiment_from_config(flags);
+  cfg.max_rounds = std::max(cfg.max_rounds, kRoutineDeadline);
+  // 30 stations x 20 measurements: Eq. 9 needs B >= 600 * lambda*(N-1) for a
+  // positive base reward, so this campaign defaults to a larger budget than
+  // the paper's 20-task setup (override with --budget).
+  if (!flags.has("budget")) cfg.mech_params.platform_budget = 1500.0;
+  exp::warn_unconsumed(flags);
+
+  std::cout << "Air-quality campaign: " << kUrgentStations
+            << " urgent stations (deadline round " << kUrgentDeadline << "), "
+            << kRoutineStations << " routine stations (deadline round "
+            << kRoutineDeadline << "), " << cfg.scenario.num_users
+            << " volunteers, mechanism=on-demand\n\n";
+
+  Rng rng(cfg.seed);
+  model::World world = make_stations(cfg.scenario, rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                        world, cfg.mech_params, mech_rng);
+  auto sel = select::make_selector(cfg.selector, cfg.dp_candidate_cap);
+  sim::SimulatorParams sp;
+  sp.max_rounds = cfg.max_rounds;
+  sp.platform_budget = cfg.mech_params.platform_budget;
+  sim::Simulator s(std::move(world), std::move(mech), std::move(sel), sp);
+
+  TextTable timeline({"round", "urgent %", "routine %", "new-meas", "payout $"});
+  while (s.current_round() < cfg.max_rounds && !s.all_tasks_closed()) {
+    const sim::RoundMetrics& rm = s.step();
+    timeline.add_row(
+        {std::to_string(rm.round),
+         format_fixed(group_completeness(s.world(), kUrgentDeadline), 1),
+         format_fixed(group_completeness(s.world(), kRoutineDeadline), 1),
+         std::to_string(rm.new_measurements), format_fixed(rm.payout, 2)});
+  }
+  timeline.print(std::cout);
+
+  const double urgent = group_completeness(s.world(), kUrgentDeadline);
+  const double routine = group_completeness(s.world(), kRoutineDeadline);
+  std::cout << "\nfinal: urgent stations " << format_fixed(urgent, 1)
+            << " % complete by round " << kUrgentDeadline << ", routine "
+            << format_fixed(routine, 1) << " % by round " << kRoutineDeadline
+            << "; total paid $" << format_fixed(s.budget().spent(), 2)
+            << " of $" << format_fixed(s.budget().total(), 2) << "\n";
+  std::cout << "The deadline factor X1 front-loads rewards on the urgent "
+               "cluster; routine stations catch up afterwards.\n";
+  return 0;
+}

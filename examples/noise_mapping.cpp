@@ -1,0 +1,137 @@
+// Noise-pollution mapping — the motivating application of the paper's §III.
+//
+// A city wants fine-grained noise levels for 24 measurement sites spread
+// over downtown (a dense cluster) and the outskirts (remote sites). Remote
+// sites are exactly the tasks a fixed-reward campaign starves; this example
+// runs the same campaign under all three mechanisms and reports how the
+// remote sites fared under each.
+//
+//   ./noise_mapping [--seed=3] [--reps=10]
+#include <iostream>
+#include <vector>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+#include "geo/distance.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mcs;
+
+// Downtown center and the fraction of sites placed there.
+constexpr geo::Point kDowntown{800.0, 800.0};
+constexpr double kDowntownFraction = 0.7;
+constexpr Meters kDowntownSpread = 400.0;
+
+model::World make_city(const sim::ScenarioParams& p, Rng& rng) {
+  geo::TravelModel travel;
+  travel.speed_mps = p.speed_mps;
+  travel.cost_per_meter = p.cost_per_meter;
+  model::World world(geo::BoundingBox::square(p.area_side), travel,
+                     p.neighbor_radius);
+  for (int i = 0; i < p.num_tasks; ++i) {
+    geo::Point loc;
+    if (rng.uniform() < kDowntownFraction) {
+      loc = world.area().clamp({kDowntown.x + rng.normal(0.0, kDowntownSpread),
+                                kDowntown.y + rng.normal(0.0, kDowntownSpread)});
+    } else {
+      // Outskirts: uniform over the whole map, biased away from downtown by
+      // rejection (keeps remote sites genuinely remote).
+      do {
+        loc = {rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)};
+      } while (geo::euclidean(loc, kDowntown) < 1200.0);
+    }
+    world.add_task(loc, static_cast<Round>(rng.uniform_int(p.deadline_min,
+                                                           p.deadline_max)),
+                   p.required_measurements);
+  }
+  // People also concentrate downtown: 60% of users live there.
+  for (int i = 0; i < p.num_users; ++i) {
+    geo::Point home;
+    if (rng.uniform() < 0.6) {
+      home = world.area().clamp({kDowntown.x + rng.normal(0.0, 600.0),
+                                 kDowntown.y + rng.normal(0.0, 600.0)});
+    } else {
+      home = {rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)};
+    }
+    world.add_user(home, rng.uniform(p.user_budget_min_s, p.user_budget_max_s));
+  }
+  return world;
+}
+
+bool is_remote(const model::Task& t) {
+  return geo::euclidean(t.location(), kDowntown) >= 1200.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig cfg = exp::experiment_from_config(flags);
+  cfg.scenario.num_tasks = static_cast<int>(flags.get_int("tasks", 24));
+  const int reps = static_cast<int>(flags.get_int("reps", 10));
+  exp::warn_unconsumed(flags);
+
+  std::cout << "Noise-pollution mapping: " << cfg.scenario.num_tasks
+            << " sites (70% downtown, 30% remote), " << cfg.scenario.num_users
+            << " residents, " << reps << " repetitions\n\n";
+
+  TextTable table({"mechanism", "coverage %", "completeness %",
+                   "remote completeness %", "downtown completeness %",
+                   "$ / measurement"});
+  for (const auto kind : exp::all_mechanisms()) {
+    RunningStats cov, compl_all, compl_remote, compl_downtown, rpm;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(cfg.seed + static_cast<std::uint64_t>(rep) * 7919);
+      model::World world = make_city(cfg.scenario, rng);
+      Rng mech_rng = rng.split(0xfeed);
+      auto mech = incentive::make_mechanism(kind, world, cfg.mech_params,
+                                            mech_rng);
+      auto sel = select::make_selector(cfg.selector, cfg.dp_candidate_cap);
+      sim::SimulatorParams sp;
+      sp.max_rounds = cfg.max_rounds;
+      sp.platform_budget = cfg.mech_params.platform_budget;
+      sim::Simulator s(std::move(world), std::move(mech), std::move(sel), sp);
+      const sim::CampaignMetrics m = s.run();
+
+      cov.add(m.coverage_pct);
+      compl_all.add(m.completeness_pct);
+      rpm.add(m.avg_reward_per_measurement);
+      long long remote_req = 0, remote_got = 0, down_req = 0, down_got = 0;
+      for (const model::Task& t : s.world().tasks()) {
+        const long long got = std::min(t.received(), t.required());
+        if (is_remote(t)) {
+          remote_req += t.required();
+          remote_got += got;
+        } else {
+          down_req += t.required();
+          down_got += got;
+        }
+      }
+      if (remote_req > 0) {
+        compl_remote.add(100.0 * static_cast<double>(remote_got) /
+                         static_cast<double>(remote_req));
+      }
+      if (down_req > 0) {
+        compl_downtown.add(100.0 * static_cast<double>(down_got) /
+                           static_cast<double>(down_req));
+      }
+    }
+    table.add_row({incentive::mechanism_name(kind), format_fixed(cov.mean(), 1),
+                   format_fixed(compl_all.mean(), 1),
+                   format_fixed(compl_remote.mean(), 1),
+                   format_fixed(compl_downtown.mean(), 1),
+                   format_fixed(rpm.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe on-demand mechanism raises rewards on the starved remote"
+               " sites until commuting there pays off; fixed rewards leave"
+               " them under-sampled.\n";
+  return 0;
+}

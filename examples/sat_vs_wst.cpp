@@ -1,0 +1,105 @@
+// SAT vs WST (§II of the paper, made executable).
+//
+// Runs the same random worlds through two pipelines:
+//   WST  — the paper's mode: on-demand rewards published each round, users
+//          select tasks themselves (DP selector);
+//   SAT  — server-assigned: per-task sealed-bid reverse auctions with
+//          second-price payments, winners assigned centrally.
+// and compares completeness, platform spend and user surplus. The paper
+// argues WST trades a little allocational control for far less
+// coordination; this example quantifies that trade on the §VI setup.
+//
+//   ./sat_vs_wst [--users=100] [--reps=10] [--slots=5] [--reserve=2.5]
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+#include "sat/sat_round.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig cfg = exp::experiment_from_config(flags);
+  sat::SatRoundParams sat_params;
+  sat_params.slots_per_task = static_cast<int>(flags.get_int("slots", 5));
+  sat_params.reserve = flags.get_double("reserve", 2.5);
+  const int reps = static_cast<int>(flags.get_int("reps", 10));
+  exp::warn_unconsumed(flags);
+
+  std::cout << "SAT (reverse auction, " << sat_params.slots_per_task
+            << " slots/task, reserve $" << sat_params.reserve
+            << ") vs WST (on-demand + DP), " << cfg.scenario.num_users
+            << " users, " << reps << " repetitions\n\n";
+
+  RunningStats wst_compl, wst_paid, wst_surplus;
+  RunningStats sat_compl, sat_paid, sat_surplus, sat_declined;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(rep) * 7919;
+
+    {  // WST pipeline.
+      Rng rng(seed);
+      model::World world = sim::generate_world(cfg.scenario, rng);
+      Rng mech_rng = rng.split(0xfeed);
+      auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                            world, cfg.mech_params, mech_rng);
+      auto sel = select::make_selector(select::SelectorKind::kDp,
+                                       cfg.dp_candidate_cap);
+      sim::SimulatorParams sp;
+      sp.max_rounds = cfg.max_rounds;
+      sp.platform_budget = cfg.mech_params.platform_budget;
+      sim::Simulator s(std::move(world), std::move(mech), std::move(sel), sp);
+      const sim::CampaignMetrics m = s.run();
+      wst_compl.add(m.completeness_pct);
+      wst_paid.add(m.total_paid);
+      Money surplus = 0.0;
+      for (const model::User& u : s.world().users()) {
+        surplus += u.total_profit();
+      }
+      wst_surplus.add(surplus);
+    }
+
+    {  // SAT pipeline over an identically seeded world.
+      Rng rng(seed);
+      model::World world = sim::generate_world(cfg.scenario, rng);
+      int declined = 0;
+      Money paid = 0.0;
+      for (Round k = 1; k <= cfg.max_rounds; ++k) {
+        const sat::SatRoundResult r = sat::run_sat_round(world, k, sat_params);
+        declined += r.declined;
+        paid += r.total_paid;
+      }
+      sat_compl.add(sim::completeness_pct(world));
+      sat_paid.add(paid);
+      Money surplus = 0.0;
+      for (const model::User& u : world.users()) surplus += u.total_profit();
+      sat_surplus.add(surplus);
+      sat_declined.add(declined);
+    }
+  }
+
+  TextTable table({"pipeline", "completeness %", "platform paid $",
+                   "user surplus $", "declined assignments"});
+  table.add_row({"WST on-demand + DP", format_fixed(wst_compl.mean(), 2),
+                 format_fixed(wst_paid.mean(), 2),
+                 format_fixed(wst_surplus.mean(), 2), "-"});
+  table.add_row({"SAT reverse auction", format_fixed(sat_compl.mean(), 2),
+                 format_fixed(sat_paid.mean(), 2),
+                 format_fixed(sat_surplus.mean(), 2),
+                 format_fixed(sat_declined.mean(), 1)});
+  table.print(std::cout);
+
+  std::cout << "\nThe auction squeezes user surplus toward marginal cost"
+               " (second-price payments), while WST leaves users the full"
+               " reward-minus-cost margin; SAT's central assignment buys"
+               " coverage control at the price of the bid/assign round-trip"
+               " the paper's WST design avoids.\n";
+  return 0;
+}

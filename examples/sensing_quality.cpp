@@ -1,0 +1,68 @@
+// Why does a task need phi = 20 measurements? (§III-A)
+//
+// Simulates a population of biased, noisy phone sensors, aggregates x
+// independent readings per task with three aggregators, and prints the
+// estimate RMSE as x grows — then fits the diminishing-returns quality
+// model Q(x) = 1 - (1-delta)^x that the steered baseline assumes, closing
+// the loop between the sensing substrate and the incentive layer.
+//
+//   ./sensing_quality [--users=200] [--trials=500] [--bias=1.0]
+//                     [--noise-min=0.5] [--noise-max=2.0] [--seed=17]
+#include <iostream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "sim/sensing.h"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+  using namespace mcs::sim;
+
+  const Config flags = Config::from_args(argc, argv);
+  const auto users = static_cast<std::size_t>(flags.get_int("users", 200));
+  const int trials = static_cast<int>(flags.get_int("trials", 500));
+  const double bias = flags.get_double("bias", 1.0);
+  const double noise_min = flags.get_double("noise-min", 0.5);
+  const double noise_max = flags.get_double("noise-max", 2.0);
+  const int max_x = static_cast<int>(flags.get_int("max-measurements", 20));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 17)));
+
+  std::cout << "Sensing quality: " << users << " sensors, bias~N(0," << bias
+            << "), noise U[" << noise_min << "," << noise_max << "], "
+            << trials << " trials per point\n\n";
+
+  const auto population =
+      draw_sensor_population(users, bias, noise_min, noise_max, rng);
+
+  std::vector<std::vector<double>> rmse;
+  const Aggregator aggs[] = {Aggregator::kMean, Aggregator::kMedian,
+                             Aggregator::kTrimmedMean};
+  for (const Aggregator a : aggs) {
+    Rng curve_rng = rng.split(static_cast<std::uint64_t>(a) + 1);
+    rmse.push_back(quality_curve(population, max_x, trials, a, curve_rng));
+  }
+
+  TextTable table({"measurements x", "rmse (mean)", "rmse (median)",
+                   "rmse (trimmed)"});
+  for (int x = 1; x <= max_x; ++x) {
+    table.add_row({std::to_string(x),
+                   format_fixed(rmse[0][static_cast<std::size_t>(x - 1)], 3),
+                   format_fixed(rmse[1][static_cast<std::size_t>(x - 1)], 3),
+                   format_fixed(rmse[2][static_cast<std::size_t>(x - 1)], 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfitted Q(x) = 1-(1-delta)^x:\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double delta = fit_quality_delta(rmse_to_quality(rmse[i]));
+    std::cout << "  " << aggregator_name(aggs[i]) << ": delta = "
+              << format_fixed(delta, 3) << "\n";
+  }
+  std::cout << "\nThe steered baseline's quality model (delta = 0.2 in the "
+               "paper) corresponds to a sensor population in this regime; "
+               "per-user bias puts a floor under the achievable RMSE, which "
+               "is why more distinct contributors beat more readings from "
+               "one phone.\n";
+  return 0;
+}

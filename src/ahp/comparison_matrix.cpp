@@ -1,0 +1,166 @@
+#include "ahp/comparison_matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mcs::ahp {
+
+ComparisonMatrix::ComparisonMatrix(std::size_t n) : n_(n), a_(n * n, 1.0) {
+  MCS_CHECK(n >= 1, "comparison matrix must have at least one criterion");
+}
+
+ComparisonMatrix ComparisonMatrix::from_upper_triangle(
+    std::size_t n, const std::vector<double>& upper) {
+  MCS_CHECK(upper.size() == n * (n - 1) / 2,
+            "upper triangle size must be n(n-1)/2");
+  ComparisonMatrix m(n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, upper[k++]);
+    }
+  }
+  return m;
+}
+
+ComparisonMatrix ComparisonMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  const std::size_t n = rows.size();
+  ComparisonMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MCS_CHECK(rows[i].size() == n, "comparison matrix must be square");
+    for (std::size_t j = 0; j < n; ++j) {
+      MCS_CHECK(rows[i][j] > 0.0, "comparison matrix entries must be positive");
+      m.cell(i, j) = rows[i][j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    MCS_CHECK(std::abs(m.cell(i, i) - 1.0) < 1e-9,
+              "comparison matrix diagonal must be 1");
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double prod = m.cell(i, j) * m.cell(j, i);
+      MCS_CHECK(std::abs(prod - 1.0) < 1e-6,
+                "comparison matrix must be reciprocal");
+    }
+  }
+  return m;
+}
+
+double ComparisonMatrix::at(std::size_t i, std::size_t j) const {
+  MCS_CHECK(i < n_ && j < n_, "comparison matrix index out of range");
+  return cell(i, j);
+}
+
+void ComparisonMatrix::set(std::size_t i, std::size_t j, double v) {
+  MCS_CHECK(i < n_ && j < n_, "comparison matrix index out of range");
+  MCS_CHECK(v > 0.0, "comparison matrix entries must be positive");
+  if (i == j) {
+    MCS_CHECK(std::abs(v - 1.0) < 1e-12, "diagonal entries must equal 1");
+    return;
+  }
+  cell(i, j) = v;
+  cell(j, i) = 1.0 / v;
+}
+
+std::vector<std::vector<double>> ComparisonMatrix::normalized() const {
+  std::vector<double> colsum(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    for (std::size_t i = 0; i < n_; ++i) colsum[j] += cell(i, j);
+  }
+  std::vector<std::vector<double>> out(n_, std::vector<double>(n_));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) out[i][j] = cell(i, j) / colsum[j];
+  }
+  return out;
+}
+
+std::vector<double> ComparisonMatrix::multiply(
+    const std::vector<double>& w) const {
+  MCS_CHECK(w.size() == n_, "matrix-vector size mismatch");
+  std::vector<double> out(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) out[i] += cell(i, j) * w[j];
+  }
+  return out;
+}
+
+bool ComparisonMatrix::on_saaty_scale(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const double v = cell(i, j);
+      const double big = v >= 1.0 ? v : 1.0 / v;
+      bool ok = false;
+      for (int s = 1; s <= 9; ++s) {
+        if (std::abs(big - static_cast<double>(s)) <= tol) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+bool ComparisonMatrix::is_consistent(double rel_tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        const double lhs = cell(i, k);
+        const double rhs = cell(i, j) * cell(j, k);
+        if (std::abs(lhs - rhs) > rel_tol * std::max(std::abs(lhs), 1.0)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string ComparisonMatrix::to_string(int decimals) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j) os << "  ";
+      os << format_fixed(cell(i, j), decimals);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ComparisonMatrix aggregate_judgments(
+    const std::vector<ComparisonMatrix>& experts) {
+  MCS_CHECK(!experts.empty(), "need at least one expert judgment");
+  const std::size_t n = experts.front().size();
+  for (const ComparisonMatrix& m : experts) {
+    MCS_CHECK(m.size() == n, "expert matrices must share one size");
+  }
+  ComparisonMatrix out(n);
+  const double inv = 1.0 / static_cast<double>(experts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double log_sum = 0.0;
+      for (const ComparisonMatrix& m : experts) log_sum += std::log(m.at(i, j));
+      out.set(i, j, std::exp(log_sum * inv));
+    }
+  }
+  return out;
+}
+
+ComparisonMatrix consistent_matrix_from_weights(const std::vector<double>& w) {
+  const std::size_t n = w.size();
+  MCS_CHECK(n >= 1, "weights must be non-empty");
+  ComparisonMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MCS_CHECK(w[i] > 0.0, "weights must be positive");
+    for (std::size_t j = i + 1; j < n; ++j) m.set(i, j, w[i] / w[j]);
+  }
+  return m;
+}
+
+}  // namespace mcs::ahp

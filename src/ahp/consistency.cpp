@@ -1,0 +1,40 @@
+#include "ahp/consistency.h"
+
+#include "ahp/weights.h"
+#include "common/error.h"
+
+namespace mcs::ahp {
+
+double random_index(std::size_t n) {
+  // Saaty (1980) random index table, extended through n=15.
+  static constexpr double kRi[] = {0.0,  0.0,  0.0,  0.58, 0.90, 1.12,
+                                   1.24, 1.32, 1.41, 1.45, 1.49, 1.51,
+                                   1.48, 1.56, 1.57, 1.59};
+  MCS_CHECK(n >= 1, "random index undefined for n=0");
+  if (n >= 15) return kRi[15];
+  return kRi[n];
+}
+
+double consistency_index(double lambda_max, std::size_t n) {
+  MCS_CHECK(n >= 1, "consistency index undefined for n=0");
+  if (n <= 2) return 0.0;
+  return (lambda_max - static_cast<double>(n)) / (static_cast<double>(n) - 1.0);
+}
+
+double consistency_ratio(double lambda_max, std::size_t n) {
+  if (n <= 2) return 0.0;
+  return consistency_index(lambda_max, n) / random_index(n);
+}
+
+ConsistencyReport check_consistency(const ComparisonMatrix& m,
+                                    double threshold) {
+  ConsistencyReport report;
+  const EigenResult eig = eigenvector_weights(m);
+  report.lambda_max = eig.lambda_max;
+  report.ci = consistency_index(eig.lambda_max, m.size());
+  report.cr = consistency_ratio(eig.lambda_max, m.size());
+  report.acceptable = report.cr <= threshold;
+  return report;
+}
+
+}  // namespace mcs::ahp

@@ -1,0 +1,35 @@
+// Saaty consistency checking for pairwise comparison matrices.
+//
+// CI = (lambda_max - n) / (n - 1); CR = CI / RI(n) where RI is the random
+// consistency index. Matrices with CR <= 0.1 are conventionally accepted.
+#pragma once
+
+#include <cstddef>
+
+#include "ahp/comparison_matrix.h"
+
+namespace mcs::ahp {
+
+/// Saaty's random consistency index for matrices of size n (n <= 15; larger
+/// n reuses the n=15 value, which is standard practice). RI(1)=RI(2)=0.
+double random_index(std::size_t n);
+
+/// Consistency index from the principal eigenvalue.
+double consistency_index(double lambda_max, std::size_t n);
+
+/// Consistency ratio CI/RI; defined as 0 for n <= 2 (always consistent).
+double consistency_ratio(double lambda_max, std::size_t n);
+
+struct ConsistencyReport {
+  double lambda_max = 0.0;
+  double ci = 0.0;
+  double cr = 0.0;
+  bool acceptable = true;  // cr <= threshold
+};
+
+/// Full check: computes the eigenvector estimate of lambda_max and derives
+/// CI/CR. `threshold` defaults to Saaty's 0.1.
+ConsistencyReport check_consistency(const ComparisonMatrix& m,
+                                    double threshold = 0.1);
+
+}  // namespace mcs::ahp

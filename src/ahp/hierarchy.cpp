@@ -1,0 +1,61 @@
+#include "ahp/hierarchy.h"
+
+#include "common/error.h"
+
+namespace mcs::ahp {
+
+Hierarchy::Hierarchy(std::string goal, std::vector<std::string> criteria,
+                     ComparisonMatrix criteria_matrix, WeightMethod method)
+    : goal_(std::move(goal)),
+      criteria_(std::move(criteria)),
+      criteria_matrix_(std::move(criteria_matrix)),
+      method_(method),
+      alt_matrices_(criteria_.size()) {
+  MCS_CHECK(criteria_matrix_.size() == criteria_.size(),
+            "criteria matrix size must match criteria count");
+  weights_ = compute_weights(criteria_matrix_, method_);
+}
+
+void Hierarchy::set_alternative_matrix(std::size_t criterion,
+                                       ComparisonMatrix m) {
+  MCS_CHECK(criterion < criteria_.size(), "criterion index out of range");
+  alt_matrices_[criterion] = std::move(m);
+}
+
+std::vector<double> Hierarchy::synthesize(
+    const std::vector<std::vector<double>>& scores) const {
+  MCS_CHECK(scores.size() == criteria_.size(),
+            "need one score vector per criterion");
+  std::size_t n_alt = 0;
+  for (std::size_t c = 0; c < criteria_.size(); ++c) {
+    const std::size_t rows = alt_matrices_[c].has_value()
+                                 ? alt_matrices_[c]->size()
+                                 : scores[c].size();
+    if (c == 0) {
+      n_alt = rows;
+    } else {
+      MCS_CHECK(rows == n_alt, "alternative count mismatch across criteria");
+    }
+  }
+  std::vector<double> out(n_alt, 0.0);
+  for (std::size_t c = 0; c < criteria_.size(); ++c) {
+    std::vector<double> s;
+    if (alt_matrices_[c].has_value()) {
+      s = compute_weights(*alt_matrices_[c], method_);
+    } else {
+      s = scores[c];
+    }
+    for (std::size_t a = 0; a < n_alt; ++a) out[a] += weights_[c] * s[a];
+  }
+  return out;
+}
+
+std::vector<double> Hierarchy::synthesize_from_matrices() const {
+  for (std::size_t c = 0; c < criteria_.size(); ++c) {
+    MCS_CHECK(alt_matrices_[c].has_value(),
+              "criterion '" + criteria_[c] + "' has no alternative matrix");
+  }
+  return synthesize(std::vector<std::vector<double>>(criteria_.size()));
+}
+
+}  // namespace mcs::ahp

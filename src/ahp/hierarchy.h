@@ -1,0 +1,60 @@
+// Multi-level AHP hierarchy synthesis.
+//
+// The paper's hierarchy (Fig. 2) has one goal, three criteria and the tasks
+// as alternatives. The criteria weights come from a pairwise comparison
+// matrix; the per-criterion scores of the alternatives are *measured*
+// quantities (the demand factors X1..X3), so the alternative level uses raw
+// scores rather than pairwise judgments. This class supports both styles:
+// each criterion either carries its own comparison matrix over the
+// alternatives or receives a score vector at evaluation time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ahp/comparison_matrix.h"
+#include "ahp/weights.h"
+
+namespace mcs::ahp {
+
+class Hierarchy {
+ public:
+  /// `criteria_matrix` compares the criteria pairwise (goal level).
+  Hierarchy(std::string goal, std::vector<std::string> criteria,
+            ComparisonMatrix criteria_matrix,
+            WeightMethod method = WeightMethod::kRowAverage);
+
+  const std::string& goal() const { return goal_; }
+  std::size_t num_criteria() const { return criteria_.size(); }
+  const std::vector<std::string>& criteria() const { return criteria_; }
+
+  /// Criteria weights derived from the comparison matrix (sum to 1).
+  const std::vector<double>& criteria_weights() const { return weights_; }
+
+  /// Attach a pairwise comparison matrix over the alternatives for one
+  /// criterion (classical AHP alternative scoring).
+  void set_alternative_matrix(std::size_t criterion, ComparisonMatrix m);
+
+  /// Synthesize alternative priorities from per-criterion score vectors.
+  /// scores[c][a] is the (already scaled) score of alternative a under
+  /// criterion c; criteria with an attached matrix ignore their row and use
+  /// the matrix-derived priorities instead. Returns one priority per
+  /// alternative: sum_c w_c * score[c][a].
+  std::vector<double> synthesize(
+      const std::vector<std::vector<double>>& scores) const;
+
+  /// Classical synthesis using only attached alternative matrices; every
+  /// criterion must have one, and all must agree on the alternative count.
+  std::vector<double> synthesize_from_matrices() const;
+
+ private:
+  std::string goal_;
+  std::vector<std::string> criteria_;
+  ComparisonMatrix criteria_matrix_;
+  WeightMethod method_;
+  std::vector<double> weights_;
+  std::vector<std::optional<ComparisonMatrix>> alt_matrices_;
+};
+
+}  // namespace mcs::ahp

@@ -1,0 +1,113 @@
+#include "common/config.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mcs {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        cfg.set(body, "true");
+      } else {
+        cfg.set(body.substr(0, eq), body.substr(eq + 1));
+      }
+    } else {
+      cfg.positionals_.push_back(arg);
+    }
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  MCS_CHECK(in.good(), "cannot open config file: " + path);
+  Config cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    MCS_CHECK(eq != std::string::npos,
+              path + ":" + std::to_string(lineno) + ": expected key = value");
+    cfg.set(trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  consumed_.insert(key);
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  consumed_.insert(key);
+  return parse_double(it->second);
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  consumed_.insert(key);
+  return parse_int(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  consumed_.insert(key);
+  return parse_bool(it->second);
+}
+
+std::string Config::require_string(const std::string& key) const {
+  MCS_CHECK(has(key), "missing required config key: " + key);
+  return get_string(key, "");
+}
+
+double Config::require_double(const std::string& key) const {
+  MCS_CHECK(has(key), "missing required config key: " + key);
+  return get_double(key, 0.0);
+}
+
+long long Config::require_int(const std::string& key) const {
+  MCS_CHECK(has(key), "missing required config key: " + key);
+  return get_int(key, 0);
+}
+
+std::vector<std::string> Config::unconsumed_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (consumed_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Config::items() const {
+  return {values_.begin(), values_.end()};
+}
+
+}  // namespace mcs

@@ -1,0 +1,113 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mcs {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MCS_CHECK(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  MCS_CHECK(row.size() == header_.size(), "CSV row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& row, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (const double v : row) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    out << escape(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << escape(row[i]);
+    }
+    out << '\n';
+  }
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  MCS_CHECK(out.good(), "cannot open for writing: " + path);
+  write(out);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MCS_CHECK(!header_.empty(), "table header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MCS_CHECK(row.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& row, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (const double v : row) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " | ";
+      os << std::string(width[i] - row[i].size(), ' ') << row[i];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << "-+-";
+    os << std::string(width[i], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << to_string(); }
+
+CsvWriter TextTable::as_csv() const {
+  CsvWriter csv(header_);
+  for (const auto& row : rows_) csv.add_row(row);
+  return csv;
+}
+
+}  // namespace mcs

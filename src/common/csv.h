@@ -1,0 +1,60 @@
+// Tabular output: CSV files for post-processing and fixed-width text tables
+// for terminal display. Benchmarks print each paper figure as a text table
+// and can optionally dump the same rows as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// separators/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Format doubles with the given precision (separate name: a braced list of
+  /// string literals would otherwise ambiguously match vector<double>'s
+  /// iterator-pair constructor).
+  void add_numeric_row(const std::vector<double>& row, int decimals = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Right-aligned fixed-width table printer for terminal output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_numeric_row(const std::vector<double>& row, int decimals = 3);
+
+  /// Render with column separators, e.g.
+  ///   users | on-demand |  fixed | steered
+  ///   ------+-----------+--------+--------
+  ///      40 |     97.50 |  91.20 |   96.80
+  std::string to_string() const;
+  void print(std::ostream& out) const;
+
+  /// The same rows as machine-readable CSV (for plotting scripts).
+  CsvWriter as_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,42 @@
+// Error handling helpers.
+//
+// The library throws mcs::Error for precondition violations and unrecoverable
+// configuration problems. MCS_CHECK is used at API boundaries; internal
+// invariants use MCS_ASSERT which compiles to a check in all build types
+// (these paths are never hot).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcs {
+
+/// Exception type thrown by the library on invalid arguments or broken
+/// invariants. Carries a human-readable message including the failing site.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mcs
+
+/// Verify a caller-visible precondition; throws mcs::Error on failure.
+#define MCS_CHECK(expr, msg)                                      \
+  do {                                                            \
+    if (!(expr)) ::mcs::detail::fail(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)
+
+/// Verify an internal invariant. Same behaviour as MCS_CHECK; a separate
+/// macro keeps intent visible at the call site.
+#define MCS_ASSERT(expr, msg) MCS_CHECK(expr, msg)

@@ -1,0 +1,401 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace mcs {
+
+bool Json::as_bool() const {
+  MCS_CHECK(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  MCS_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+long long Json::as_int() const {
+  MCS_CHECK(is_number(), "JSON value is not a number");
+  const auto v = static_cast<long long>(number_);
+  MCS_CHECK(static_cast<double>(v) == number_, "JSON number is not integral");
+  return v;
+}
+
+const std::string& Json::as_string() const {
+  MCS_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  MCS_CHECK(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  MCS_CHECK(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  MCS_CHECK(it != o.end(), "JSON object has no key '" + key + "'");
+  return it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return is_object() && object_.count(key) != 0;
+}
+
+Json& Json::operator[](const std::string& key) {
+  MCS_CHECK(is_object(), "JSON value is not an object");
+  return object_[key];
+}
+
+double Json::get(const std::string& key, double fallback) const {
+  return has(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::get(const std::string& key,
+                      const std::string& fallback) const {
+  return has(key) ? at(key).as_string() : fallback;
+}
+
+bool Json::get(const std::string& key, bool fallback) const {
+  return has(key) ? at(key).as_bool() : fallback;
+}
+
+const Json& Json::at(std::size_t index) const {
+  const Array& a = as_array();
+  MCS_CHECK(index < a.size(), "JSON array index out of range");
+  return a[index];
+}
+
+void Json::push_back(Json value) {
+  MCS_CHECK(is_array(), "JSON value is not an array");
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double v) {
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth + 1), ' ')
+      : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth), ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: write_number(out, number_); break;
+    case Type::kString: write_escaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].write(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      std::size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        out += pad;
+        write_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.write(out, indent, depth + 1);
+        if (++i < object_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kNumber: return a.number_ == b.number_;
+    case Json::Type::kString: return a.string_ == b.string_;
+    case Json::Type::kArray: return a.array_ == b.array_;
+    case Json::Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    skip_ws();
+    Json v = value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                msg);
+  }
+  void check(bool ok, const std::string& msg) const {
+    if (!ok) fail(msg);
+  }
+
+  char peek() const {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c,
+          std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    check(pos_ < text_.size(), "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json(string());
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json(nullptr);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return number();
+    fail("unexpected character");
+  }
+
+  Json object() {
+    expect('{');
+    Json::Object out;
+    skip_ws();
+    if (consume('}')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      check(peek() == '"', "expected object key string");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out[std::move(key)] = value();
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      break;
+    }
+    return Json(std::move(out));
+  }
+
+  Json array() {
+    expect('[');
+    Json::Array out;
+    skip_ws();
+    if (consume(']')) return Json(std::move(out));
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      break;
+    }
+    return Json(std::move(out));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    check(pos_ < text_.size() &&
+              std::isdigit(static_cast<unsigned char>(text_[pos_])),
+          "malformed number");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (consume('.')) {
+      check(pos_ < text_.size() &&
+                std::isdigit(static_cast<unsigned char>(text_[pos_])),
+            "malformed number fraction");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      check(pos_ < text_.size() &&
+                std::isdigit(static_cast<unsigned char>(text_[pos_])),
+            "malformed number exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Json(std::stod(text_.substr(start, pos_ - start)));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace mcs

@@ -1,0 +1,91 @@
+// Minimal JSON value type, parser and writer.
+//
+// Used for machine-readable experiment configs and result dumps (world
+// snapshots, campaign summaries, event traces). Self-contained: the library
+// has no third-party dependencies. Supports the full JSON grammar except
+// \uXXXX escapes beyond Latin-1 (emitted verbatim as bytes on write;
+// parsed into UTF-8 for the BMP on read).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  // std::map keeps keys sorted -> deterministic output.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(long long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw mcs::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;  // as_number, checked to be integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field access. at() throws when missing; get() returns the
+  /// fallback. operator[] inserts (object must be mutable).
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  Json& operator[](const std::string& key);
+  double get(const std::string& key, double fallback) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  bool get(const std::string& key, bool fallback) const;
+
+  /// Array element access (throws out of range) and append.
+  const Json& at(std::size_t index) const;
+  void push_back(Json value);
+  std::size_t size() const;  // array or object arity; 0 otherwise
+
+  /// Serialize. `indent` 0 = compact single line; > 0 = pretty-printed.
+  std::string dump(int indent = 0) const;
+
+  /// Parse; throws mcs::Error with position on malformed input. Trailing
+  /// non-whitespace is an error.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace mcs

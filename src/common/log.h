@@ -1,0 +1,55 @@
+// Minimal leveled logger writing to stderr.
+//
+// The simulator is deterministic and single-threaded, so the logger favors
+// simplicity: a global level, stream-style message construction, and no
+// buffering beyond the final write.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mcs
+
+#define MCS_LOG(level)                             \
+  if (static_cast<int>(level) < static_cast<int>(::mcs::log_level())) \
+    ;                                              \
+  else                                             \
+    ::mcs::detail::LogLine(level)
+
+#define MCS_DEBUG MCS_LOG(::mcs::LogLevel::kDebug)
+#define MCS_INFO MCS_LOG(::mcs::LogLevel::kInfo)
+#define MCS_WARN MCS_LOG(::mcs::LogLevel::kWarn)
+#define MCS_ERROR MCS_LOG(::mcs::LogLevel::kError)

@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mcs {
+
+double Rng::normal(double mean, double stddev) {
+  MCS_CHECK(stddev >= 0.0, "normal: negative stddev");
+  // Box–Muller; draw u1 away from 0 to keep log finite.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::exponential(double rate) {
+  MCS_CHECK(rate > 0.0, "exponential: rate must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace mcs

@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be exactly reproducible from a single 64-bit seed, so the
+// library carries its own generator (xoshiro256**) instead of relying on the
+// implementation-defined std::default_random_engine, and its own bounded
+// draws instead of the implementation-defined std distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mcs {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state and to
+/// derive independent sub-streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies the UniformRandomBitGenerator requirements so it can also be
+/// plugged into <random> facilities when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    MCS_CHECK(lo <= hi, "uniform: empty range");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MCS_CHECK(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t x;
+    do {
+      x = next();
+    } while (x >= limit);
+    return lo + static_cast<std::int64_t>(x % span);
+  }
+
+  /// Standard normal via Box–Muller (polar form would need state; the basic
+  /// form is fine for simulation workloads).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent generator for a named sub-stream. Streams derived
+  /// with distinct tags are statistically independent of the parent and of
+  /// each other, and derivation does not disturb the parent's sequence.
+  Rng split(std::uint64_t stream_tag) const {
+    SplitMix64 sm(s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_tag + 1)));
+    std::uint64_t derived = sm.next() ^ s_[3];
+    return Rng(derived);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace mcs

@@ -1,0 +1,176 @@
+#include "common/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mcs {
+
+namespace {
+
+// log Gamma via Lanczos approximation.
+double log_gamma(double x) {
+  static const double g[] = {676.5203681218851,     -1259.1392167224028,
+                             771.32342877765313,    -176.61502916214059,
+                             12.507343278686905,    -0.13857109526572012,
+                             9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = 0.99999999999980993;
+  const double t = x + 7.5;
+  for (int i = 0; i < 8; ++i) a += g[i] / (x + static_cast<double>(i) + 1.0);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double normal_two_sided_p(double z) {
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  MCS_CHECK(a > 0.0 && b > 0.0, "incomplete_beta: a,b must be positive");
+  MCS_CHECK(x >= 0.0 && x <= 1.0, "incomplete_beta: x must be in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_p(double t, double df) {
+  MCS_CHECK(df > 0.0, "degrees of freedom must be positive");
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+TestResult welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  MCS_CHECK(a.size() >= 2 && b.size() >= 2,
+            "welch t-test needs at least 2 samples per side");
+  RunningStats sa, sb;
+  for (const double v : a) sa.add(v);
+  for (const double v : b) sb.add(v);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = sa.sample_variance() / na;
+  const double vb = sb.sample_variance() / nb;
+
+  TestResult r;
+  r.effect = sa.mean() - sb.mean();
+  if (va + vb == 0.0) {
+    // Constant samples: identical -> p=1; different -> p=0 (deterministic).
+    r.statistic = r.effect == 0.0 ? 0.0 : std::copysign(1e9, r.effect);
+    r.p_value = r.effect == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = r.effect / std::sqrt(va + vb);
+  const double df = (va + vb) * (va + vb) /
+                    (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  r.p_value = student_t_two_sided_p(r.statistic, df);
+  return r;
+}
+
+TestResult mann_whitney_u(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  MCS_CHECK(!a.empty() && !b.empty(), "mann-whitney needs non-empty samples");
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double v;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (const double v : a) pooled.push_back({v, true});
+  for (const double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].v == pooled[i].v) ++j;
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    const double ties = static_cast<double>(j - i + 1);
+    if (ties > 1.0) tie_correction += ties * ties * ties - ties;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += midrank;
+    }
+    i = j + 1;
+  }
+
+  const double u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+  const double mean_u = na * nb / 2.0;
+  const double n = na + nb;
+  const double var_u =
+      na * nb / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+
+  TestResult r;
+  r.effect = 2.0 * u_a / (na * nb) - 1.0;  // rank-biserial correlation
+  if (var_u <= 0.0) {
+    r.statistic = 0.0;
+    r.p_value = 1.0;
+    return r;
+  }
+  // Continuity correction.
+  const double diff = u_a - mean_u;
+  const double corrected =
+      diff == 0.0 ? 0.0 : (std::abs(diff) - 0.5) / std::sqrt(var_u);
+  r.statistic = std::copysign(corrected, diff);
+  r.p_value = normal_two_sided_p(r.statistic);
+  return r;
+}
+
+}  // namespace mcs

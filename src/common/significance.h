@@ -1,0 +1,35 @@
+// Two-sample significance tests for comparing mechanisms across repeated
+// campaigns: Welch's unequal-variance t-test (parametric) and the
+// Mann-Whitney U test with normal approximation (rank-based, for the
+// skewed metrics like per-user profit). Self-contained: Student-t tail
+// probabilities via the regularized incomplete beta function.
+#pragma once
+
+#include <vector>
+
+namespace mcs {
+
+/// Regularized incomplete beta function I_x(a, b), by continued fraction
+/// (Lentz). Domain: a,b > 0, x in [0,1]. Accurate to ~1e-12.
+double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+double student_t_two_sided_p(double t, double df);
+
+struct TestResult {
+  double statistic = 0.0;  // t or z depending on the test
+  double p_value = 1.0;    // two-sided
+  double effect = 0.0;     // mean difference (t-test) / rank-biserial (U)
+};
+
+/// Welch's t-test (two-sided). Requires at least two samples per side with
+/// non-zero combined variance; identical constant samples yield p = 1.
+TestResult welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Mann-Whitney U with tie-corrected normal approximation (two-sided).
+/// Suitable for n >= ~8 per side.
+TestResult mann_whitney_u(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace mcs

@@ -1,0 +1,74 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace mcs {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+double parse_double(const std::string& s) {
+  const std::string t = trim(s);
+  MCS_CHECK(!t.empty(), "parse_double: empty string");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  MCS_CHECK(end == t.c_str() + t.size(), "parse_double: bad number '" + s + "'");
+  return v;
+}
+
+long long parse_int(const std::string& s) {
+  const std::string t = trim(s);
+  MCS_CHECK(!t.empty(), "parse_int: empty string");
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  MCS_CHECK(end == t.c_str() + t.size(), "parse_int: bad integer '" + s + "'");
+  return v;
+}
+
+bool parse_bool(const std::string& s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "1" || t == "true" || t == "yes" || t == "on") return true;
+  if (t == "0" || t == "false" || t == "no" || t == "off") return false;
+  throw Error("parse_bool: bad boolean '" + s + "'");
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace mcs

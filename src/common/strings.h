@@ -1,0 +1,31 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Parse helpers that throw mcs::Error with the offending text on failure
+/// (std::stod silently accepts trailing garbage; these do not).
+double parse_double(const std::string& s);
+long long parse_int(const std::string& s);
+bool parse_bool(const std::string& s);
+
+/// printf-style double formatting used by table printers ("%.*f").
+std::string format_fixed(double value, int decimals);
+
+}  // namespace mcs

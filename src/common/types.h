@@ -1,0 +1,33 @@
+// Basic shared types for the Pay-On-Demand crowdsensing library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mcs {
+
+/// Identifier of a sensing task (index into the task table of a World).
+using TaskId = std::int32_t;
+
+/// Identifier of a mobile user (index into the user table of a World).
+using UserId = std::int32_t;
+
+/// 1-based sensing round counter, as in the paper ("the kth round").
+using Round = std::int32_t;
+
+/// Monetary amount in dollars. The paper works with $-valued rewards/costs.
+using Money = double;
+
+/// Time in seconds.
+using Seconds = double;
+
+/// Distance in meters.
+using Meters = double;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr UserId kInvalidUser = -1;
+
+/// Convenience "infinity" used by shortest-path style computations.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace mcs

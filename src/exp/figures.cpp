@@ -1,0 +1,192 @@
+#include "exp/figures.h"
+
+#include <iostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mcs::exp {
+
+ExperimentConfig experiment_from_config(const Config& cfg) {
+  ExperimentConfig e;
+  sim::ScenarioParams& s = e.scenario;
+  s.area_side = cfg.get_double("area", s.area_side);
+  s.num_tasks = static_cast<int>(cfg.get_int("tasks", s.num_tasks));
+  s.num_users = static_cast<int>(cfg.get_int("users", s.num_users));
+  s.required_measurements =
+      static_cast<int>(cfg.get_int("required", s.required_measurements));
+  s.required_spread =
+      static_cast<int>(cfg.get_int("required-spread", s.required_spread));
+  s.deadline_min = static_cast<Round>(cfg.get_int("deadline-min", s.deadline_min));
+  s.deadline_max = static_cast<Round>(cfg.get_int("deadline-max", s.deadline_max));
+  s.speed_mps = cfg.get_double("speed", s.speed_mps);
+  s.cost_per_meter = cfg.get_double("cost-per-meter", s.cost_per_meter);
+  s.user_budget_min_s = cfg.get_double("user-budget-min", s.user_budget_min_s);
+  s.user_budget_max_s = cfg.get_double("user-budget-max", s.user_budget_max_s);
+  s.neighbor_radius = cfg.get_double("radius", s.neighbor_radius);
+
+  incentive::MechanismParams& m = e.mech_params;
+  m.platform_budget = cfg.get_double("budget", m.platform_budget);
+  m.lambda = cfg.get_double("lambda", m.lambda);
+  m.demand_levels = static_cast<int>(cfg.get_int("levels", m.demand_levels));
+  m.steered_rc = cfg.get_double("steered-rc", m.steered_rc);
+  m.steered_mu = cfg.get_double("steered-mu", m.steered_mu);
+  m.steered_delta = cfg.get_double("steered-delta", m.steered_delta);
+
+  e.mechanism =
+      incentive::parse_mechanism(cfg.get_string("mechanism", "on-demand"));
+  e.selector = select::parse_selector(
+      cfg.get_string("selector", select::selector_name(e.selector)));
+  e.dp_candidate_cap =
+      static_cast<int>(cfg.get_int("dp-cap", e.dp_candidate_cap));
+  e.mobility = sim::parse_mobility(
+      cfg.get_string("mobility", sim::mobility_name(e.mobility)));
+  e.drift_sigma = cfg.get_double("drift-sigma", e.drift_sigma);
+  e.max_rounds = static_cast<Round>(cfg.get_int("rounds", e.max_rounds));
+  e.repetitions = static_cast<int>(cfg.get_int("reps", e.repetitions));
+  e.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  return e;
+}
+
+std::vector<int> user_counts_from_config(const Config& cfg) {
+  const int from = static_cast<int>(cfg.get_int("users-from", 40));
+  const int to = static_cast<int>(cfg.get_int("users-to", 140));
+  const int step = static_cast<int>(cfg.get_int("users-step", 20));
+  MCS_CHECK(from >= 1 && to >= from && step >= 1, "bad user-count sweep");
+  std::vector<int> out;
+  for (int n = from; n <= to; n += step) out.push_back(n);
+  return out;
+}
+
+std::vector<incentive::MechanismKind> all_mechanisms() {
+  return {incentive::MechanismKind::kOnDemand, incentive::MechanismKind::kFixed,
+          incentive::MechanismKind::kSteered};
+}
+
+UserSweep::UserSweep(ExperimentConfig base, std::vector<int> user_counts,
+                     std::vector<incentive::MechanismKind> mechanisms)
+    : base_(std::move(base)),
+      user_counts_(std::move(user_counts)),
+      mechanisms_(std::move(mechanisms)) {
+  MCS_CHECK(!user_counts_.empty(), "user sweep needs at least one count");
+  MCS_CHECK(!mechanisms_.empty(), "user sweep needs at least one mechanism");
+}
+
+void UserSweep::run() {
+  results_.assign(mechanisms_.size(), {});
+  for (std::size_t mi = 0; mi < mechanisms_.size(); ++mi) {
+    results_[mi].reserve(user_counts_.size());
+    for (const int n : user_counts_) {
+      ExperimentConfig cfg = base_;
+      cfg.mechanism = mechanisms_[mi];
+      cfg.scenario.num_users = n;
+      results_[mi].push_back(run_experiment(cfg));
+    }
+  }
+  ran_ = true;
+}
+
+const AggregateResult& UserSweep::result(std::size_t mech,
+                                         std::size_t user_idx) const {
+  MCS_CHECK(ran_, "UserSweep::run() not called");
+  return results_.at(mech).at(user_idx);
+}
+
+TextTable UserSweep::table(
+    const std::function<double(const AggregateResult&)>& metric,
+    const std::string& x_label, int decimals) const {
+  MCS_CHECK(ran_, "UserSweep::run() not called");
+  std::vector<std::string> header{x_label};
+  for (const auto kind : mechanisms_) {
+    header.emplace_back(incentive::mechanism_name(kind));
+  }
+  TextTable t(header);
+  for (std::size_t ui = 0; ui < user_counts_.size(); ++ui) {
+    std::vector<std::string> row{std::to_string(user_counts_[ui])};
+    for (std::size_t mi = 0; mi < mechanisms_.size(); ++mi) {
+      row.push_back(format_fixed(metric(results_[mi][ui]), decimals));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+RoundSeries::RoundSeries(ExperimentConfig base,
+                         std::vector<incentive::MechanismKind> mechanisms)
+    : base_(std::move(base)), mechanisms_(std::move(mechanisms)) {
+  MCS_CHECK(!mechanisms_.empty(), "round series needs at least one mechanism");
+}
+
+void RoundSeries::run() {
+  results_.clear();
+  results_.reserve(mechanisms_.size());
+  for (const auto kind : mechanisms_) {
+    ExperimentConfig cfg = base_;
+    cfg.mechanism = kind;
+    results_.push_back(run_experiment(cfg));
+  }
+  ran_ = true;
+}
+
+const AggregateResult& RoundSeries::result(std::size_t mech) const {
+  MCS_CHECK(ran_, "RoundSeries::run() not called");
+  return results_.at(mech);
+}
+
+TextTable RoundSeries::table(
+    const std::function<double(const AggregateResult&, std::size_t)>& metric,
+    Round first_round, int decimals) const {
+  MCS_CHECK(ran_, "RoundSeries::run() not called");
+  std::vector<std::string> header{"round"};
+  for (const auto kind : mechanisms_) {
+    header.emplace_back(incentive::mechanism_name(kind));
+  }
+  TextTable t(header);
+  for (Round k = first_round; k <= base_.max_rounds; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t mi = 0; mi < mechanisms_.size(); ++mi) {
+      row.push_back(format_fixed(
+          metric(results_[mi], static_cast<std::size_t>(k - 1)), decimals));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void print_experiment_header(const ExperimentConfig& cfg,
+                             const std::string& title) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "area=" << cfg.scenario.area_side << "m"
+            << " tasks=" << cfg.scenario.num_tasks
+            << " users=" << cfg.scenario.num_users
+            << " phi=" << cfg.scenario.required_measurements << " deadlines=["
+            << cfg.scenario.deadline_min << "," << cfg.scenario.deadline_max
+            << "]"
+            << " user-budget=[" << cfg.scenario.user_budget_min_s << ","
+            << cfg.scenario.user_budget_max_s << "]s"
+            << " radius=" << cfg.scenario.neighbor_radius << "m\n";
+  std::cout << "B=$" << cfg.mech_params.platform_budget
+            << " lambda=$" << cfg.mech_params.lambda
+            << " levels=" << cfg.mech_params.demand_levels
+            << " selector=" << select::selector_name(cfg.selector)
+            << " dp-cap=" << cfg.dp_candidate_cap
+            << " rounds=" << cfg.max_rounds << " reps=" << cfg.repetitions
+            << " seed=" << cfg.seed << "\n\n";
+}
+
+void warn_unconsumed(const Config& cfg) {
+  for (const std::string& key : cfg.unconsumed_keys()) {
+    std::cerr << "warning: unrecognized flag --" << key << "\n";
+  }
+}
+
+void maybe_dump_csv(const Config& cfg, const std::string& name,
+                    const TextTable& table) {
+  const std::string dir = cfg.get_string("csv-dir", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  table.as_csv().write_file(path);
+  std::cerr << "wrote " << path << "\n";
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,137 @@
+#include "exp/runner.h"
+
+#include "common/error.h"
+
+namespace mcs::exp {
+
+namespace {
+
+sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
+                               select::SelectorKind selector_kind,
+                               const MechanismFactory* factory) {
+  Rng rng(seed);
+  model::World world = sim::generate_world(cfg.scenario, rng);
+
+  Rng mech_rng = rng.split(0xfeed);
+  std::unique_ptr<incentive::IncentiveMechanism> mechanism =
+      factory != nullptr
+          ? (*factory)(world, mech_rng)
+          : incentive::make_mechanism(cfg.mechanism, world, cfg.mech_params,
+                                      mech_rng);
+  auto selector = select::make_selector(selector_kind, cfg.dp_candidate_cap);
+
+  sim::SimulatorParams sp;
+  sp.max_rounds = cfg.max_rounds;
+  sp.platform_budget = cfg.mech_params.platform_budget;
+  sp.order_seed = seed ^ 0x5bd1e995;
+  return sim::Simulator(std::move(world), std::move(mechanism),
+                        std::move(selector), sp,
+                        sim::make_mobility(cfg.mobility, cfg.drift_sigma));
+}
+
+std::uint64_t rep_seed(const ExperimentConfig& cfg, int rep) {
+  // Spread repetition seeds with SplitMix so neighboring reps do not share
+  // low-bit structure.
+  SplitMix64 sm(cfg.seed + 0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(rep + 1));
+  return sm.next();
+}
+
+RepetitionResult run_one(const ExperimentConfig& cfg, std::uint64_t seed,
+                         const MechanismFactory* factory) {
+  sim::Simulator simulator =
+      build_simulator(cfg, seed, cfg.selector, factory);
+  RepetitionResult result;
+  result.campaign = simulator.run();
+  result.rounds = simulator.history();
+  return result;
+}
+
+AggregateResult aggregate(const ExperimentConfig& cfg,
+                          const MechanismFactory* factory) {
+  MCS_CHECK(cfg.repetitions >= 1, "need at least one repetition");
+  AggregateResult agg;
+  const auto rounds = static_cast<std::size_t>(cfg.max_rounds);
+  agg.round_new_measurements.resize(rounds);
+  agg.round_coverage.resize(rounds);
+  agg.round_completeness.resize(rounds);
+  agg.round_mean_profit.resize(rounds);
+  agg.round_mean_reward.resize(rounds);
+
+  for (int rep = 0; rep < cfg.repetitions; ++rep) {
+    const RepetitionResult r = run_one(cfg, rep_seed(cfg, rep), factory);
+    agg.coverage.add(r.campaign.coverage_pct);
+    agg.completeness.add(r.campaign.completeness_pct);
+    agg.tasks_completed.add(r.campaign.tasks_completed_pct);
+    agg.avg_measurements.add(r.campaign.avg_measurements);
+    agg.measurement_variance.add(r.campaign.measurement_variance);
+    agg.reward_per_measurement.add(r.campaign.avg_reward_per_measurement);
+    agg.total_paid.add(r.campaign.total_paid);
+    agg.overdraft.add(r.campaign.budget_overdraft);
+    agg.reward_gini.add(r.campaign.reward_gini);
+    agg.reward_jain.add(r.campaign.reward_jain);
+    agg.active_fraction.add(r.campaign.active_user_fraction);
+
+    double last_cov = 0.0;
+    double last_compl = 0.0;
+    for (std::size_t k = 0; k < rounds; ++k) {
+      if (k < r.rounds.size()) {
+        const sim::RoundMetrics& rm = r.rounds[k];
+        last_cov = rm.coverage_pct;
+        last_compl = rm.completeness_pct;
+        agg.round_new_measurements[k].add(rm.new_measurements);
+        agg.round_mean_profit[k].add(rm.mean_user_profit);
+        agg.round_mean_reward[k].add(rm.mean_open_reward);
+      } else {
+        // Campaign closed early: no further activity.
+        agg.round_new_measurements[k].add(0.0);
+        agg.round_mean_profit[k].add(0.0);
+        agg.round_mean_reward[k].add(0.0);
+      }
+      agg.round_coverage[k].add(last_cov);
+      agg.round_completeness[k].add(last_compl);
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+RepetitionResult run_repetition(const ExperimentConfig& cfg,
+                                std::uint64_t seed) {
+  return run_one(cfg, seed, nullptr);
+}
+
+AggregateResult run_experiment(const ExperimentConfig& cfg) {
+  return aggregate(cfg, nullptr);
+}
+
+AggregateResult run_experiment_with(const ExperimentConfig& cfg,
+                                    const MechanismFactory& factory) {
+  return aggregate(cfg, &factory);
+}
+
+DpVsGreedyResult run_dp_vs_greedy(const ExperimentConfig& cfg, Round at_round) {
+  MCS_CHECK(at_round >= 1 && at_round <= cfg.max_rounds,
+            "comparison round out of range");
+  DpVsGreedyResult out;
+  const auto dp = select::make_selector(select::SelectorKind::kDp,
+                                        cfg.dp_candidate_cap);
+  const auto greedy = select::make_selector(select::SelectorKind::kGreedy);
+  for (int rep = 0; rep < cfg.repetitions; ++rep) {
+    const std::uint64_t seed = rep_seed(cfg, rep);
+    sim::Simulator simulator =
+        build_simulator(cfg, seed, select::SelectorKind::kDp, nullptr);
+    for (Round k = 1; k < at_round; ++k) simulator.step();
+    for (const select::SelectionInstance& inst : simulator.peek_instances()) {
+      const Money dp_profit = dp->select(inst).profit();
+      const Money gr_profit = greedy->select(inst).profit();
+      out.dp_profit.add(dp_profit);
+      out.greedy_profit.add(gr_profit);
+      out.differences.push_back(dp_profit - gr_profit);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcs::exp

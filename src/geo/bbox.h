@@ -1,0 +1,47 @@
+// Axis-aligned bounding box over the deployment area.
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "geo/point.h"
+
+namespace mcs::geo {
+
+struct BoundingBox {
+  Point lo;
+  Point hi;
+
+  BoundingBox() = default;
+  BoundingBox(Point lo_, Point hi_) : lo(lo_), hi(hi_) {
+    MCS_CHECK(lo.x <= hi.x && lo.y <= hi.y, "bounding box corners inverted");
+  }
+
+  /// Square box [0, side] x [0, side] — the paper's experiment field shape.
+  static BoundingBox square(double side) {
+    MCS_CHECK(side > 0.0, "bounding box side must be positive");
+    return BoundingBox({0.0, 0.0}, {side, side});
+  }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double area() const { return width() * height(); }
+
+  bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Clamp a point into the box.
+  Point clamp(Point p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  /// Longest distance between two points of the box (the diagonal).
+  double diameter() const {
+    const double w = width();
+    const double h = height();
+    return std::sqrt(w * w + h * h);
+  }
+};
+
+}  // namespace mcs::geo

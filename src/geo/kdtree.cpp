@@ -1,0 +1,107 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::geo {
+
+KdTree::KdTree(std::vector<Item> items) : items_(std::move(items)) {
+  if (items_.empty()) return;
+  nodes_.reserve(items_.size());
+  root_ = build(0, items_.size(), /*split_x=*/true);
+}
+
+std::int32_t KdTree::build(std::size_t begin, std::size_t end, bool split_x) {
+  if (begin >= end) return -1;
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(items_.begin() + static_cast<long>(begin),
+                   items_.begin() + static_cast<long>(mid),
+                   items_.begin() + static_cast<long>(end),
+                   [split_x](const Item& a, const Item& b) {
+                     return split_x ? a.p.x < b.p.x : a.p.y < b.p.y;
+                   });
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_index)].item =
+      static_cast<std::int32_t>(mid);
+  nodes_[static_cast<std::size_t>(node_index)].split_x = split_x;
+  const std::int32_t left = build(begin, mid, !split_x);
+  const std::int32_t right = build(mid + 1, end, !split_x);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void KdTree::radius_walk(std::int32_t node, Point center, double r2,
+                         std::vector<std::int32_t>* out,
+                         std::size_t* count) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Item& item = items_[static_cast<std::size_t>(n.item)];
+  if (squared_euclidean(center, item.p) <= r2) {
+    if (out != nullptr) out->push_back(item.id);
+    if (count != nullptr) ++*count;
+  }
+  const double diff = n.split_x ? center.x - item.p.x : center.y - item.p.y;
+  const std::int32_t near = diff <= 0.0 ? n.left : n.right;
+  const std::int32_t far = diff <= 0.0 ? n.right : n.left;
+  radius_walk(near, center, r2, out, count);
+  if (diff * diff <= r2) radius_walk(far, center, r2, out, count);
+}
+
+std::vector<std::int32_t> KdTree::query_radius(Point center,
+                                               double radius) const {
+  MCS_CHECK(radius >= 0.0, "query radius must be non-negative");
+  std::vector<std::int32_t> out;
+  radius_walk(root_, center, radius * radius, &out, nullptr);
+  return out;
+}
+
+std::size_t KdTree::count_radius(Point center, double radius) const {
+  MCS_CHECK(radius >= 0.0, "query radius must be non-negative");
+  std::size_t count = 0;
+  radius_walk(root_, center, radius * radius, nullptr, &count);
+  return count;
+}
+
+void KdTree::nearest_walk(
+    std::int32_t node, Point center,
+    std::vector<std::pair<double, std::int32_t>>& heap, std::size_t k) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Item& item = items_[static_cast<std::size_t>(n.item)];
+  const double d2 = squared_euclidean(center, item.p);
+  if (heap.size() < k) {
+    heap.emplace_back(d2, item.id);
+    std::push_heap(heap.begin(), heap.end());  // max-heap on distance
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, item.id};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const double diff = n.split_x ? center.x - item.p.x : center.y - item.p.y;
+  const std::int32_t near = diff <= 0.0 ? n.left : n.right;
+  const std::int32_t far = diff <= 0.0 ? n.right : n.left;
+  nearest_walk(near, center, heap, k);
+  // Visit the far side only if the splitting plane could still hide a
+  // closer point than the current k-th best.
+  if (heap.size() < k || diff * diff < heap.front().first) {
+    nearest_walk(far, center, heap, k);
+  }
+}
+
+std::vector<std::int32_t> KdTree::nearest(Point center, std::size_t k) const {
+  MCS_CHECK(k >= 1, "nearest needs k >= 1");
+  std::vector<std::pair<double, std::int32_t>> heap;
+  heap.reserve(k + 1);
+  nearest_walk(root_, center, heap, k);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<std::int32_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
+}
+
+}  // namespace mcs::geo

@@ -1,0 +1,60 @@
+// Static 2-d k-d tree over points.
+//
+// Complements the uniform SpatialGrid: the grid wins on dense uniform data
+// with a known query radius, the k-d tree on skewed/clustered data and on
+// k-nearest-neighbor queries (which the grid answers awkwardly). Built once
+// over a fixed point set (median splits, O(n log n)); queries are
+// logarithmic on balanced data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace mcs::geo {
+
+class KdTree {
+ public:
+  struct Item {
+    std::int32_t id;
+    Point p;
+  };
+
+  KdTree() = default;
+  explicit KdTree(std::vector<Item> items);
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Ids of all points within `radius` of `center` (inclusive boundary).
+  std::vector<std::int32_t> query_radius(Point center, double radius) const;
+
+  /// Number of points within the radius.
+  std::size_t count_radius(Point center, double radius) const;
+
+  /// The k nearest points' ids, closest first. Returns fewer when the tree
+  /// holds fewer than k points. Ties broken by insertion order.
+  std::vector<std::int32_t> nearest(Point center, std::size_t k = 1) const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;    // node indices, -1 = leaf edge
+    std::int32_t right = -1;
+    std::int32_t item = -1;    // index into items_
+    bool split_x = true;       // splitting axis at this node
+  };
+
+  std::int32_t build(std::size_t begin, std::size_t end, bool split_x);
+  void radius_walk(std::int32_t node, Point center, double r2,
+                   std::vector<std::int32_t>* out, std::size_t* count) const;
+  void nearest_walk(std::int32_t node, Point center,
+                    std::vector<std::pair<double, std::int32_t>>& heap,
+                    std::size_t k) const;
+
+  std::vector<Item> items_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace mcs::geo

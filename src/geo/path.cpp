@@ -1,0 +1,30 @@
+#include "geo/path.h"
+
+#include "common/error.h"
+
+namespace mcs::geo {
+
+double path_length(const std::vector<Point>& points, Metric metric) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += distance(points[i - 1], points[i], metric);
+  }
+  return total;
+}
+
+Point point_along(const std::vector<Point>& points, double dist) {
+  MCS_CHECK(!points.empty(), "point_along: empty path");
+  MCS_CHECK(dist >= 0.0, "point_along: negative distance");
+  double remaining = dist;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double seg = euclidean(points[i - 1], points[i]);
+    if (remaining <= seg) {
+      if (seg == 0.0) return points[i];
+      return lerp(points[i - 1], points[i], remaining / seg);
+    }
+    remaining -= seg;
+  }
+  return points.back();
+}
+
+}  // namespace mcs::geo

@@ -1,0 +1,72 @@
+#include "incentive/adaptive_budget_mechanism.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+
+AdaptiveBudgetMechanism::AdaptiveBudgetMechanism(DemandIndicator indicator,
+                                                 DemandLevelScale scale,
+                                                 Money budget, Money lambda,
+                                                 Money r0_cap_factor)
+    : indicator_(std::move(indicator)),
+      scale_(scale),
+      budget_(budget),
+      lambda_(lambda),
+      r0_cap_factor_(r0_cap_factor) {
+  MCS_CHECK(budget > 0.0, "budget must be positive");
+  MCS_CHECK(lambda >= 0.0, "lambda must be non-negative");
+  MCS_CHECK(r0_cap_factor >= 1.0, "r0 cap factor must be at least 1");
+}
+
+void AdaptiveBudgetMechanism::update_rewards(const model::World& world,
+                                             Round k) {
+  // Remaining budget and still-missing measurements (useful ones only).
+  const Money spent = world.total_paid();
+  const Money remaining = std::max(Money{0}, budget_ - spent);
+  long long missing = 0;
+  for (const model::Task& t : world.tasks()) {
+    if (t.expired_at(k)) continue;
+    missing += std::max(0, t.required() - t.received());
+  }
+
+  if (initial_r0_ == 0.0) {
+    MCS_CHECK(missing > 0, "campaign starts with nothing to sense");
+    initial_r0_ = budget_ / static_cast<Money>(missing) -
+                  lambda_ * static_cast<Money>(scale_.levels() - 1);
+    MCS_CHECK(initial_r0_ > 0.0,
+              "budget too small: Eq. 9 yields a non-positive base reward");
+  }
+
+  Money r0;
+  if (missing <= 0 || remaining <= 0.0) {
+    r0 = initial_r0_;  // nothing open or nothing left; rewards moot below
+  } else {
+    r0 = remaining / static_cast<Money>(missing) -
+         lambda_ * static_cast<Money>(scale_.levels() - 1);
+  }
+  // Never price below the paper's static rule (participation floor), never
+  // above the escalation cap.
+  r0 = std::clamp(r0, initial_r0_, initial_r0_ * r0_cap_factor_);
+  rule_ = std::make_unique<RewardRule>(r0, lambda_, scale_.levels());
+
+  const auto demands = indicator_.normalized_demands(world, k);
+  const auto levels = scale_.levels_for(demands);
+  rewards_.assign(world.num_tasks(), 0.0);
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    const model::Task& t = world.tasks()[i];
+    if (t.completed() || t.expired_at(k)) continue;
+    // Affordability guard: stop publishing rewards the remaining budget
+    // cannot honor for the task's missing measurements.
+    if (remaining <= 0.0) continue;
+    rewards_[i] = rule_->reward(levels[i]);
+  }
+}
+
+const RewardRule& AdaptiveBudgetMechanism::current_rule() const {
+  MCS_CHECK(rule_ != nullptr, "update_rewards not called yet");
+  return *rule_;
+}
+
+}  // namespace mcs::incentive

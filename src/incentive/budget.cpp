@@ -1,0 +1,34 @@
+#include "incentive/budget.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+
+namespace {
+constexpr Money kTolerance = 1e-9;
+}
+
+BudgetTracker::BudgetTracker(Money total, bool strict)
+    : total_(total), strict_(strict) {
+  MCS_CHECK(total > 0.0, "budget must be positive");
+}
+
+Money BudgetTracker::overdraft() const {
+  return std::max(Money{0}, spent_ - total_);
+}
+
+bool BudgetTracker::can_afford(Money amount) const {
+  return amount <= remaining() + kTolerance;
+}
+
+void BudgetTracker::pay(Money amount) {
+  MCS_CHECK(amount >= 0.0, "payment must be non-negative");
+  if (strict_) {
+    MCS_CHECK(can_afford(amount), "payment exceeds platform budget");
+  }
+  spent_ += amount;
+}
+
+}  // namespace mcs::incentive

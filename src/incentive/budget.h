@@ -1,0 +1,36 @@
+// Platform budget accounting: the total rewards paid to users over a whole
+// campaign must never exceed the platform budget B (§III-B).
+#pragma once
+
+#include "common/types.h"
+
+namespace mcs::incentive {
+
+class BudgetTracker {
+ public:
+  /// In strict mode pay() throws on overdraft. In soft mode (used by the
+  /// simulator) payments committed within a round are always honored and any
+  /// excess is recorded as overdraft — Eq. 8 makes overdraft impossible at
+  /// round granularity, but same-round over-delivery to an almost-complete
+  /// task can theoretically overshoot, and the simulator reports rather than
+  /// crashes if it ever does.
+  explicit BudgetTracker(Money total, bool strict = true);
+
+  Money total() const { return total_; }
+  Money spent() const { return spent_; }
+  Money remaining() const { return total_ - spent_; }
+  Money overdraft() const;
+
+  bool can_afford(Money amount) const;
+
+  /// Record a payment; in strict mode throws mcs::Error when it would exceed
+  /// the budget (beyond a tiny floating-point tolerance).
+  void pay(Money amount);
+
+ private:
+  Money total_;
+  bool strict_;
+  Money spent_ = 0.0;
+};
+
+}  // namespace mcs::incentive

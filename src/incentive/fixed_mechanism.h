@@ -1,0 +1,30 @@
+// Fixed incentive baseline (§VI): each task draws a random demand level when
+// the campaign starts and keeps the corresponding Eq. 7 reward forever.
+#pragma once
+
+#include "common/rng.h"
+#include "incentive/mechanism.h"
+#include "incentive/reward.h"
+
+namespace mcs::incentive {
+
+class FixedMechanism final : public IncentiveMechanism {
+ public:
+  /// Draws one demand level per task uniformly from 1..rule.levels().
+  FixedMechanism(RewardRule rule, std::size_t num_tasks, Rng& rng);
+
+  /// Explicit levels (e.g. all tasks at the same reward).
+  FixedMechanism(RewardRule rule, std::vector<int> levels);
+
+  const char* name() const override { return "fixed"; }
+
+  void update_rewards(const model::World& world, Round k) override;
+
+  const std::vector<int>& levels() const { return levels_; }
+
+ private:
+  RewardRule rule_;
+  std::vector<int> levels_;
+};
+
+}  // namespace mcs::incentive

@@ -1,0 +1,64 @@
+#include "incentive/mechanism.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "incentive/fixed_mechanism.h"
+#include "incentive/on_demand_mechanism.h"
+#include "incentive/participation_mechanism.h"
+#include "incentive/steered_mechanism.h"
+
+namespace mcs::incentive {
+
+Money IncentiveMechanism::reward(TaskId task) const {
+  MCS_CHECK(task >= 0 && static_cast<std::size_t>(task) < rewards_.size(),
+            "reward queried for unknown task (update_rewards not called?)");
+  return rewards_[static_cast<std::size_t>(task)];
+}
+
+MechanismKind parse_mechanism(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "on-demand" || lower == "ondemand" || lower == "demand") {
+    return MechanismKind::kOnDemand;
+  }
+  if (lower == "fixed") return MechanismKind::kFixed;
+  if (lower == "steered") return MechanismKind::kSteered;
+  if (lower == "participation" || lower == "radp") {
+    return MechanismKind::kParticipation;
+  }
+  throw Error("unknown incentive mechanism: " + name);
+}
+
+const char* mechanism_name(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kOnDemand: return "on-demand";
+    case MechanismKind::kFixed: return "fixed";
+    case MechanismKind::kSteered: return "steered";
+    case MechanismKind::kParticipation: return "participation";
+  }
+  return "?";
+}
+
+std::unique_ptr<IncentiveMechanism> make_mechanism(
+    MechanismKind kind, const model::World& world,
+    const MechanismParams& params, Rng& rng) {
+  const RewardRule rule = RewardRule::from_budget(
+      params.platform_budget, world.total_required(), params.lambda,
+      params.demand_levels);
+  switch (kind) {
+    case MechanismKind::kOnDemand:
+      return std::make_unique<OnDemandMechanism>(
+          DemandIndicator::with_paper_defaults(),
+          DemandLevelScale(params.demand_levels), rule);
+    case MechanismKind::kFixed:
+      return std::make_unique<FixedMechanism>(rule, world.num_tasks(), rng);
+    case MechanismKind::kSteered:
+      return std::make_unique<SteeredMechanism>(
+          params.steered_rc, params.steered_mu, params.steered_delta);
+    case MechanismKind::kParticipation:
+      return std::make_unique<ParticipationMechanism>(
+          rule, params.participation_target, params.participation_band);
+  }
+  throw Error("unknown incentive mechanism kind");
+}
+
+}  // namespace mcs::incentive

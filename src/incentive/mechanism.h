@@ -1,0 +1,87 @@
+// IncentiveMechanism: the platform-side pricing policy.
+//
+// At the start of every sensing round the simulator asks the mechanism to
+// refresh the per-task rewards from the current world state; users then see
+// those rewards when selecting tasks (Fig. 1 of the paper). Three policies
+// are implemented: the paper's on-demand mechanism, a fixed mechanism and
+// the steered-crowdsensing baseline of Kawajiri et al.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/world.h"
+
+namespace mcs::incentive {
+
+class IncentiveMechanism {
+ public:
+  virtual ~IncentiveMechanism() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Recompute rewards for round k from the world state (called once per
+  /// round, before task selection). Implementations must size the reward
+  /// vector to world.num_tasks().
+  virtual void update_rewards(const model::World& world, Round k) = 0;
+
+  /// Mechanisms that react to every arriving measurement (Kawajiri's
+  /// steered crowdsensing recomputes its points each user session) return
+  /// true; the simulator then refreshes rewards before each user instead of
+  /// once per round. Round-granularity mechanisms keep the default.
+  virtual bool updates_within_round() const { return false; }
+
+  /// Reward of task `task` at the current round (0 for tasks no longer
+  /// asking for participants).
+  Money reward(TaskId task) const;
+
+  const std::vector<Money>& rewards() const { return rewards_; }
+
+ protected:
+  std::vector<Money> rewards_;
+};
+
+enum class MechanismKind {
+  kOnDemand,       // the paper's demand-based dynamic mechanism
+  kFixed,          // fixed random per-task rewards (§VI baseline)
+  kSteered,        // Kawajiri et al. quality-steered baseline (§VI)
+  kParticipation,  // participation-target global price (à la Lee & Hoh [11])
+};
+
+MechanismKind parse_mechanism(const std::string& name);
+const char* mechanism_name(MechanismKind kind);
+
+/// Shared knobs for building a mechanism over a given world.
+struct MechanismParams {
+  Money platform_budget = 1000.0;  // B
+  Money lambda = 0.5;              // per-level reward increment
+  int demand_levels = 5;           // N
+  // Steered baseline constants: reward = Rc + mu * dQ(x),
+  // dQ(x) = delta * (1-delta)^x, spanning (Rc, Rc + mu*delta].
+  //
+  // §VI quotes (Rc=5, mu=100, delta=0.2, "reward varies in [5,25]"), but the
+  // paper's own Fig. 9(b) shows steered paying under $2.5 per measurement —
+  // i.e. the experiments ran steered at the same reward scale as the other
+  // mechanisms. We default to the scale-normalized constants (rewards in
+  // [0.5, 2.5], matching r0..r0+lambda(N-1)); pass the quoted values via
+  // flags to reproduce the literal §VI text. See DESIGN.md §4.
+  Money steered_rc = 0.5;
+  double steered_mu = 10.0;
+  double steered_delta = 0.2;
+  // Participation-target baseline: desired active-user fraction per round
+  // and the dead band around it.
+  double participation_target = 0.5;
+  double participation_band = 0.1;
+};
+
+/// Factory covering the three paper mechanisms. `rng` is consumed only by
+/// the fixed mechanism (to draw its random per-task demand levels).
+std::unique_ptr<IncentiveMechanism> make_mechanism(MechanismKind kind,
+                                                   const model::World& world,
+                                                   const MechanismParams& params,
+                                                   Rng& rng);
+
+}  // namespace mcs::incentive

@@ -1,0 +1,20 @@
+#include "incentive/on_demand_mechanism.h"
+
+namespace mcs::incentive {
+
+OnDemandMechanism::OnDemandMechanism(DemandIndicator indicator,
+                                     DemandLevelScale scale, RewardRule rule)
+    : indicator_(std::move(indicator)), scale_(scale), rule_(rule) {}
+
+void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
+  last_demands_ = indicator_.normalized_demands(world, k);
+  last_levels_ = scale_.levels_for(last_demands_);
+  rewards_.assign(world.num_tasks(), 0.0);
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    const model::Task& t = world.tasks()[i];
+    if (t.completed() || t.expired_at(k)) continue;  // withdrawn
+    rewards_[i] = rule_.reward(last_levels_[i]);
+  }
+}
+
+}  // namespace mcs::incentive

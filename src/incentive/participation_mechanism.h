@@ -1,0 +1,46 @@
+// Participation-target dynamic pricing — a baseline in the spirit of Lee &
+// Hoh's RADP-VPC [11 in the paper]: keep the *level of participation*
+// adequate by moving a single global price, ignoring location and per-task
+// demand differences (exactly the shortcoming §I calls out).
+//
+// Controller: all open tasks share one reward level L_k in 1..N (priced by
+// the same Eq. 7 rule the other mechanisms use). After each round, compare
+// the fraction of users who performed at least one task against the target
+// band [target - band, target + band]: participation below the band raises
+// the level, above lowers it.
+#pragma once
+
+#include "incentive/mechanism.h"
+#include "incentive/reward.h"
+
+namespace mcs::incentive {
+
+class ParticipationMechanism final : public IncentiveMechanism {
+ public:
+  /// `target` is the desired fraction of active users per round, `band` the
+  /// dead zone around it.
+  ParticipationMechanism(RewardRule rule, double target = 0.5,
+                         double band = 0.1);
+
+  const char* name() const override { return "participation"; }
+
+  void update_rewards(const model::World& world, Round k) override;
+
+  int current_level() const { return level_; }
+
+  /// Feed the controller one observation: the fraction of users active in
+  /// the round that just ended; the next update_rewards() publishes the
+  /// adjusted level. update_rewards() also infers this automatically from
+  /// the world's measurement delta, so calling it is only needed when
+  /// driving the mechanism outside the simulator (e.g. tests).
+  void observe_participation(double active_fraction);
+
+ private:
+  RewardRule rule_;
+  double target_;
+  double band_;
+  int level_;
+  long long last_total_received_ = 0;
+};
+
+}  // namespace mcs::incentive

@@ -1,0 +1,35 @@
+#include "incentive/reward.h"
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+
+RewardRule::RewardRule(Money r0, Money lambda, int levels)
+    : r0_(r0), lambda_(lambda), levels_(levels) {
+  MCS_CHECK(levels >= 1, "reward rule needs at least one demand level");
+  MCS_CHECK(r0 > 0.0, "base reward r0 must be positive");
+  MCS_CHECK(lambda >= 0.0, "reward increment lambda must be non-negative");
+}
+
+RewardRule RewardRule::from_budget(Money budget, long long total_required,
+                                   Money lambda, int levels) {
+  MCS_CHECK(total_required > 0, "total required measurements must be positive");
+  MCS_CHECK(budget > 0.0, "platform budget must be positive");
+  const Money r0 = budget / static_cast<Money>(total_required) -
+                   lambda * static_cast<Money>(levels - 1);
+  MCS_CHECK(r0 > 0.0,
+            "budget too small: Eq. 9 yields a non-positive base reward");
+  return RewardRule(r0, lambda, levels);
+}
+
+Money RewardRule::reward(int demand_level) const {
+  MCS_CHECK(demand_level >= 1 && demand_level <= levels_,
+            "demand level out of range");
+  return r0_ + lambda_ * static_cast<Money>(demand_level - 1);
+}
+
+Money RewardRule::worst_case_payout(long long total_required) const {
+  return static_cast<Money>(total_required) * max_reward();
+}
+
+}  // namespace mcs::incentive

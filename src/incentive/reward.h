@@ -1,0 +1,46 @@
+// The linear demand-level reward rule of §IV-C.
+//
+//   r_ti^k = r0 + lambda * (DL_ti^k - 1)                  (Eq. 7)
+//
+// with r0 chosen from the platform budget B so that even if every
+// measurement were paid the maximum reward the budget holds (Eqs. 8–9):
+//
+//   r0 = B / sum_i(phi_i) - lambda * (N - 1)              (Eq. 9)
+#pragma once
+
+#include "common/types.h"
+
+namespace mcs::incentive {
+
+class RewardRule {
+ public:
+  /// Direct construction from the base reward r0, the per-level increment
+  /// lambda and the number of demand levels N.
+  RewardRule(Money r0, Money lambda, int levels);
+
+  /// Derive r0 from the platform budget (Eq. 9). `total_required` is
+  /// sum_i phi_i. Throws when the budget is too small for a positive r0.
+  static RewardRule from_budget(Money budget, long long total_required,
+                                Money lambda, int levels);
+
+  Money r0() const { return r0_; }
+  Money lambda() const { return lambda_; }
+  int levels() const { return levels_; }
+
+  /// Eq. 7.
+  Money reward(int demand_level) const;
+
+  Money min_reward() const { return reward(1); }
+  Money max_reward() const { return reward(levels_); }
+
+  /// Left side of Eq. 8 for a given total measurement requirement: the
+  /// worst-case payout if every measurement earned the maximum reward.
+  Money worst_case_payout(long long total_required) const;
+
+ private:
+  Money r0_;
+  Money lambda_;
+  int levels_;
+};
+
+}  // namespace mcs::incentive

@@ -1,0 +1,38 @@
+#include "incentive/steered_mechanism.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+
+SteeredMechanism::SteeredMechanism(Money rc, double mu, double delta)
+    : rc_(rc), mu_(mu), delta_(delta) {
+  MCS_CHECK(rc >= 0.0, "steered base reward must be non-negative");
+  MCS_CHECK(mu >= 0.0, "steered mu must be non-negative");
+  MCS_CHECK(delta > 0.0 && delta < 1.0, "steered delta must be in (0,1)");
+}
+
+double SteeredMechanism::quality(int measurements) const {
+  MCS_CHECK(measurements >= 0, "measurement count must be non-negative");
+  return 1.0 - std::pow(1.0 - delta_, measurements);
+}
+
+double SteeredMechanism::quality_gain(int measurements) const {
+  return quality(measurements + 1) - quality(measurements);
+}
+
+Money SteeredMechanism::reward_at(int measurements) const {
+  return rc_ + mu_ * quality_gain(measurements);
+}
+
+void SteeredMechanism::update_rewards(const model::World& world, Round k) {
+  rewards_.assign(world.num_tasks(), 0.0);
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    const model::Task& t = world.tasks()[i];
+    if (t.completed() || t.expired_at(k)) continue;
+    rewards_[i] = reward_at(t.received());
+  }
+}
+
+}  // namespace mcs::incentive

@@ -1,0 +1,41 @@
+// Steered-crowdsensing baseline (Kawajiri et al., UbiComp'14), as
+// instantiated in §VI of the paper:
+//
+//   R_ti^k = Rc + mu * dQ(x),   dQ(x) = Q(x+1) - Q(x)
+//
+// with the diminishing-returns quality model Q(x) = 1 - (1-delta)^x, so
+// dQ(x) = delta * (1-delta)^x where x is the number of measurements already
+// received. With the paper's constants (Rc=5, mu=100, delta=0.2) the reward
+// starts at 25 and decays geometrically toward Rc=5 — a monotonically
+// decreasing schedule, which is exactly the weakness the paper exploits.
+#pragma once
+
+#include "incentive/mechanism.h"
+
+namespace mcs::incentive {
+
+class SteeredMechanism final : public IncentiveMechanism {
+ public:
+  SteeredMechanism(Money rc, double mu, double delta);
+
+  const char* name() const override { return "steered"; }
+
+  void update_rewards(const model::World& world, Round k) override;
+
+  /// Steered crowdsensing reprices after every user session.
+  bool updates_within_round() const override { return true; }
+
+  /// Quality model Q(x) and its expected improvement dQ(x).
+  double quality(int measurements) const;
+  double quality_gain(int measurements) const;
+
+  /// Reward for a task that has already received x measurements.
+  Money reward_at(int measurements) const;
+
+ private:
+  Money rc_;
+  double mu_;
+  double delta_;
+};
+
+}  // namespace mcs::incentive

@@ -1,0 +1,38 @@
+#include "model/task.h"
+
+#include "common/error.h"
+
+namespace mcs::model {
+
+Task::Task(TaskId id, geo::Point location, Round deadline, int required)
+    : id_(id), location_(location), deadline_(deadline), required_(required) {
+  MCS_CHECK(id >= 0, "task id must be non-negative");
+  MCS_CHECK(deadline >= 1, "task deadline must be at least round 1");
+  MCS_CHECK(required >= 1, "task must require at least one measurement");
+}
+
+double Task::progress() const {
+  const double p = static_cast<double>(received()) / required_;
+  return p > 1.0 ? 1.0 : p;
+}
+
+bool Task::accepts(UserId user, Round k) const {
+  return !completed() && !expired_at(k) && !has_contributed(user);
+}
+
+void Task::add_measurement(UserId user, Round round, Money reward_paid) {
+  MCS_CHECK(user >= 0, "invalid user id");
+  MCS_CHECK(!expired_at(round), "task deadline passed");
+  MCS_CHECK(!has_contributed(user),
+            "user may contribute to a task at most once");
+  measurements_.push_back({user, round, reward_paid});
+  contributors_.insert(user);
+}
+
+Money Task::total_paid() const {
+  Money total = 0.0;
+  for (const auto& m : measurements_) total += m.reward_paid;
+  return total;
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,72 @@
+// A location-dependent sensing task.
+//
+// Each task t_i lives at a fixed location L_ti, must be finished before its
+// deadline D_ti (expressed in sensing rounds), and needs phi_i independent
+// measurements from *distinct* users (each user may contribute to a task at
+// most once — §III-A of the paper).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/point.h"
+
+namespace mcs::model {
+
+struct Measurement {
+  UserId user = kInvalidUser;
+  Round round = 0;
+  Money reward_paid = 0.0;  // reward at the round the measurement arrived
+};
+
+class Task {
+ public:
+  Task(TaskId id, geo::Point location, Round deadline, int required);
+
+  TaskId id() const { return id_; }
+  geo::Point location() const { return location_; }
+  Round deadline() const { return deadline_; }
+  int required() const { return required_; }
+
+  /// pi_i: number of measurements received so far.
+  int received() const { return static_cast<int>(measurements_.size()); }
+
+  /// Completing progress pi_i / phi_i in [0, 1].
+  double progress() const;
+
+  bool completed() const { return received() >= required_; }
+
+  /// True when round k is already past the deadline (no rounds remain).
+  bool expired_at(Round k) const { return k > deadline_; }
+
+  /// Whether this task still accepts data at round k from this user.
+  bool accepts(UserId user, Round k) const;
+
+  bool has_contributed(UserId user) const {
+    return contributors_.count(user) != 0;
+  }
+
+  /// Record a measurement. Enforces the distinct-user rule and the deadline;
+  /// throws mcs::Error when violated. A task may end up with more than
+  /// phi_i measurements: users commit against the rewards published at the
+  /// start of a round, so every delivery within the round a task completes
+  /// is still accepted and paid. Completed tasks are withdrawn (reward 0,
+  /// never selectable) from the next round on.
+  void add_measurement(UserId user, Round round, Money reward_paid);
+
+  const std::vector<Measurement>& measurements() const { return measurements_; }
+
+  /// Total rewards paid out for this task so far.
+  Money total_paid() const;
+
+ private:
+  TaskId id_;
+  geo::Point location_;
+  Round deadline_;
+  int required_;
+  std::vector<Measurement> measurements_;
+  std::unordered_set<UserId> contributors_;
+};
+
+}  // namespace mcs::model

@@ -1,0 +1,18 @@
+#include "model/user.h"
+
+#include "common/error.h"
+
+namespace mcs::model {
+
+User::User(UserId id, geo::Point home, Seconds time_budget)
+    : id_(id), home_(home), time_budget_(time_budget), location_(home) {
+  MCS_CHECK(id >= 0, "user id must be non-negative");
+  MCS_CHECK(time_budget >= 0.0, "time budget must be non-negative");
+}
+
+void User::set_time_budget(Seconds budget) {
+  MCS_CHECK(budget >= 0.0, "time budget must be non-negative");
+  time_budget_ = budget;
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,56 @@
+// A mobile user (worker) in the WST-mode crowdsensing system.
+//
+// Users are rational: each round they select the task set maximizing their
+// profit (total reward minus travel cost) subject to a per-round travel-time
+// budget. A user starts every round from its home location.
+#pragma once
+
+#include <unordered_set>
+
+#include "common/types.h"
+#include "geo/point.h"
+
+namespace mcs::model {
+
+class User {
+ public:
+  User(UserId id, geo::Point home, Seconds time_budget);
+
+  UserId id() const { return id_; }
+  geo::Point home() const { return home_; }
+
+  /// Per-round travel-time budget B_ui (seconds).
+  Seconds time_budget() const { return time_budget_; }
+  void set_time_budget(Seconds budget);
+
+  /// Location at the start of the current round.
+  geo::Point location() const { return location_; }
+  void set_location(geo::Point p) { location_ = p; }
+  void return_home() { location_ = home_; }
+
+  bool has_contributed(TaskId task) const {
+    return contributed_.count(task) != 0;
+  }
+  void mark_contributed(TaskId task) { contributed_.insert(task); }
+  std::size_t tasks_contributed() const { return contributed_.size(); }
+
+  /// Lifetime earnings bookkeeping.
+  Money total_reward() const { return total_reward_; }
+  Money total_cost() const { return total_cost_; }
+  Money total_profit() const { return total_reward_ - total_cost_; }
+  void add_earnings(Money reward, Money cost) {
+    total_reward_ += reward;
+    total_cost_ += cost;
+  }
+
+ private:
+  UserId id_;
+  geo::Point home_;
+  Seconds time_budget_;
+  geo::Point location_;
+  std::unordered_set<TaskId> contributed_;
+  Money total_reward_ = 0.0;
+  Money total_cost_ = 0.0;
+};
+
+}  // namespace mcs::model

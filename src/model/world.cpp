@@ -1,0 +1,84 @@
+#include "model/world.h"
+
+#include "common/error.h"
+
+namespace mcs::model {
+
+World::World(geo::BoundingBox area, geo::TravelModel travel,
+             Meters neighbor_radius)
+    : area_(area), travel_(travel), neighbor_radius_(neighbor_radius) {
+  MCS_CHECK(neighbor_radius >= 0.0, "neighbor radius must be non-negative");
+  MCS_CHECK(travel.speed_mps > 0.0, "travel speed must be positive");
+  MCS_CHECK(travel.cost_per_meter >= 0.0, "travel cost must be non-negative");
+}
+
+TaskId World::add_task(geo::Point location, Round deadline, int required) {
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.emplace_back(id, location, deadline, required);
+  return id;
+}
+
+UserId World::add_user(geo::Point home, Seconds time_budget) {
+  const auto id = static_cast<UserId>(users_.size());
+  users_.emplace_back(id, home, time_budget);
+  return id;
+}
+
+Task& World::task(TaskId id) {
+  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
+            "task id out of range");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+const Task& World::task(TaskId id) const {
+  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
+            "task id out of range");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+User& World::user(UserId id) {
+  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < users_.size(),
+            "user id out of range");
+  return users_[static_cast<std::size_t>(id)];
+}
+
+const User& World::user(UserId id) const {
+  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < users_.size(),
+            "user id out of range");
+  return users_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> World::neighbor_counts() const {
+  // Cell size = query radius keeps the scan at a 3x3 cell neighborhood.
+  const double cell =
+      neighbor_radius_ > 0.0 ? neighbor_radius_ : area_.diameter();
+  geo::SpatialGrid grid(area_, cell);
+  for (const User& u : users_) grid.insert(u.id(), u.location());
+  std::vector<int> counts;
+  counts.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    counts.push_back(
+        static_cast<int>(grid.count_radius(t.location(), neighbor_radius_)));
+  }
+  return counts;
+}
+
+long long World::total_required() const {
+  long long total = 0;
+  for (const Task& t : tasks_) total += t.required();
+  return total;
+}
+
+long long World::total_received() const {
+  long long total = 0;
+  for (const Task& t : tasks_) total += t.received();
+  return total;
+}
+
+Money World::total_paid() const {
+  Money total = 0.0;
+  for (const Task& t : tasks_) total += t.total_paid();
+  return total;
+}
+
+}  // namespace mcs::model

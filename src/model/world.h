@@ -1,0 +1,63 @@
+// World: the shared state of one crowdsensing deployment — the task set, the
+// user population, the deployment area and the travel model. Owned by the
+// simulator; incentive mechanisms and selectors observe it read-only.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/bbox.h"
+#include "geo/path.h"
+#include "geo/spatial_grid.h"
+#include "model/task.h"
+#include "model/user.h"
+
+namespace mcs::model {
+
+class World {
+ public:
+  World(geo::BoundingBox area, geo::TravelModel travel, Meters neighbor_radius);
+
+  const geo::BoundingBox& area() const { return area_; }
+  const geo::TravelModel& travel() const { return travel_; }
+  Meters neighbor_radius() const { return neighbor_radius_; }
+
+  TaskId add_task(geo::Point location, Round deadline, int required);
+  UserId add_user(geo::Point home, Seconds time_budget);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_users() const { return users_.size(); }
+
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+  User& user(UserId id);
+  const User& user(UserId id) const;
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<User>& users() const { return users_; }
+  std::vector<Task>& tasks() { return tasks_; }
+  std::vector<User>& users() { return users_; }
+
+  /// N_i for every task: number of users within neighbor_radius of the task
+  /// location, computed with a spatial grid in O(n + m * r-cells).
+  std::vector<int> neighbor_counts() const;
+
+  /// Total number of measurements required across tasks (sum of phi_i);
+  /// the denominator of Eq. 9.
+  long long total_required() const;
+
+  /// Total measurements received across tasks.
+  long long total_received() const;
+
+  /// Total rewards paid out so far (must never exceed the platform budget).
+  Money total_paid() const;
+
+ private:
+  geo::BoundingBox area_;
+  geo::TravelModel travel_;
+  Meters neighbor_radius_;
+  std::vector<Task> tasks_;
+  std::vector<User> users_;
+};
+
+}  // namespace mcs::model

@@ -1,0 +1,40 @@
+#include "sat/reverse_auction.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcs::sat {
+
+std::vector<AuctionAward> run_reverse_auction(std::vector<Bid> bids, int slots,
+                                              Money reserve) {
+  MCS_CHECK(slots >= 1, "auction needs at least one slot");
+  MCS_CHECK(reserve >= 0.0, "reserve price must be non-negative");
+  for (const Bid& b : bids) {
+    MCS_CHECK(b.user >= 0, "bid from invalid user");
+    MCS_CHECK(b.amount >= 0.0, "negative bid");
+  }
+
+  // Reject bids above the reserve, then sort ascending (ties by user id).
+  std::erase_if(bids, [&](const Bid& b) { return b.amount > reserve; });
+  std::sort(bids.begin(), bids.end(), [](const Bid& a, const Bid& b) {
+    return a.amount != b.amount ? a.amount < b.amount : a.user < b.user;
+  });
+
+  const std::size_t winners =
+      std::min(bids.size(), static_cast<std::size_t>(slots));
+  // Uniform clearing price: the first rejected bid, or the reserve when the
+  // auction is not fully contested (standard (k+1)-price multi-unit rule;
+  // every winner is paid at least its bid).
+  const Money price =
+      bids.size() > winners ? bids[winners].amount : reserve;
+
+  std::vector<AuctionAward> awards;
+  awards.reserve(winners);
+  for (std::size_t i = 0; i < winners; ++i) {
+    awards.push_back({bids[i].user, price});
+  }
+  return awards;
+}
+
+}  // namespace mcs::sat

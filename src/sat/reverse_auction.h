@@ -1,0 +1,40 @@
+// Server-Assigned-Tasks (SAT) mode: reverse-auction allocation.
+//
+// §II of the paper contrasts its WST design with the SAT literature, where
+// the server collects bids and assigns tasks centrally. This module makes
+// that contrast executable: a sealed-bid reverse auction per task with
+// second-price (Vickrey) payments — truthful for the bidders — so the SAT
+// and WST pipelines can be compared on identical worlds (see sat_round.h
+// and the sat_vs_wst example).
+//
+// Model per round: every user may bid on every open task it can reach
+// within its per-round budget; its truthful bid is its marginal travel
+// cost. Each task accepts up to `slots` winners (lowest bids) and pays each
+// winner the first rejected bid (or its own bid when no rejection exists).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcs::sat {
+
+struct Bid {
+  UserId user = kInvalidUser;
+  Money amount = 0.0;  // the user's cost to serve the task
+};
+
+struct AuctionAward {
+  UserId user = kInvalidUser;
+  Money payment = 0.0;  // >= the winner's bid (second-price)
+};
+
+/// Run one sealed-bid reverse auction: the `slots` lowest bids win; each
+/// winner is paid the (slots+1)-th lowest bid, or `reserve` when fewer than
+/// slots+1 bids exist. Bids above `reserve` are rejected outright (the
+/// platform never pays more than its reserve price). Ties broken by user
+/// id for determinism.
+std::vector<AuctionAward> run_reverse_auction(std::vector<Bid> bids, int slots,
+                                              Money reserve);
+
+}  // namespace mcs::sat

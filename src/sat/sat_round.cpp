@@ -1,0 +1,79 @@
+#include "sat/sat_round.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::sat {
+
+SatRoundResult run_sat_round(model::World& world, Round k,
+                             const SatRoundParams& params) {
+  MCS_CHECK(k >= 1, "rounds are 1-based");
+  MCS_CHECK(params.slots_per_task >= 1, "need at least one slot per task");
+
+  // Users start the round from home (same convention as the WST loop).
+  for (model::User& u : world.users()) u.return_home();
+
+  // (1) Bid collection: marginal travel cost from the user's location.
+  std::map<TaskId, std::vector<Bid>> books;
+  for (const model::User& u : world.users()) {
+    const Meters budget = world.travel().distance_within(u.time_budget());
+    for (const model::Task& t : world.tasks()) {
+      if (!t.accepts(u.id(), k)) continue;
+      const Meters d = geo::euclidean(u.location(), t.location());
+      if (d > budget) continue;  // unreachable: no bid
+      books[t.id()].push_back({u.id(), world.travel().cost_for(d)});
+    }
+  }
+
+  // (2) Clear one reverse auction per task; cheapest awards first so budget
+  // declines bite the expensive assignments.
+  std::vector<SatAssignment> awarded;
+  for (auto& [task, bids] : books) {
+    const int open_slots = std::min(
+        params.slots_per_task,
+        world.task(task).required() - world.task(task).received());
+    if (open_slots <= 0) continue;
+    for (const AuctionAward& award :
+         run_reverse_auction(std::move(bids), open_slots, params.reserve)) {
+      awarded.push_back({task, award.user, award.payment});
+    }
+  }
+  std::sort(awarded.begin(), awarded.end(),
+            [](const SatAssignment& a, const SatAssignment& b) {
+              if (a.payment != b.payment) return a.payment < b.payment;
+              if (a.task != b.task) return a.task < b.task;
+              return a.user < b.user;
+            });
+
+  // (3) Execution: winners travel task-by-task in award order; an
+  // assignment is declined when the user's remaining time budget cannot
+  // absorb the leg.
+  SatRoundResult result;
+  std::map<UserId, Meters> used;
+  for (const SatAssignment& a : awarded) {
+    model::User& u = world.user(a.user);
+    model::Task& t = world.task(a.task);
+    const Meters leg = geo::euclidean(u.location(), t.location());
+    const Meters budget = world.travel().distance_within(u.time_budget());
+    Meters& spent = used[a.user];
+    if (spent + leg > budget) {
+      ++result.declined;
+      continue;
+    }
+    spent += leg;
+    t.add_measurement(u.id(), k, a.payment);
+    u.mark_contributed(a.task);
+    const Money cost = world.travel().cost_for(leg);
+    u.add_earnings(a.payment, cost);
+    u.set_location(t.location());
+    result.assignments.push_back(a);
+    result.total_paid += a.payment;
+    result.total_user_cost += cost;
+  }
+  return result;
+}
+
+}  // namespace mcs::sat

@@ -1,0 +1,47 @@
+// One SAT-mode sensing round over a World.
+//
+// The server solicits bids from every user for every open task within
+// reach (truthful bid = round-trip-free marginal travel cost from the
+// user's current location), clears a reverse auction per task, and
+// assigns winners. A user may win several tasks; assignments that would
+// blow its travel-time budget are declined in server order (cheapest
+// first), mirroring the negotiation overhead §II attributes to SAT.
+//
+// This is deliberately a *simple* SAT baseline — the point is an
+// executable contrast to the WST pipeline, not a reproduction of any
+// specific SAT paper.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/world.h"
+#include "sat/reverse_auction.h"
+
+namespace mcs::sat {
+
+struct SatRoundParams {
+  int slots_per_task = 5;     // max winners per task per round
+  Money reserve = 2.5;        // server's max payment per measurement
+};
+
+struct SatAssignment {
+  TaskId task = kInvalidTask;
+  UserId user = kInvalidUser;
+  Money payment = 0.0;
+};
+
+struct SatRoundResult {
+  std::vector<SatAssignment> assignments;  // executed ones
+  int declined = 0;     // auction wins the user's budget couldn't honor
+  Money total_paid = 0.0;
+  Money total_user_cost = 0.0;  // travel cost actually incurred
+};
+
+/// Execute one SAT round at round `k`: collects bids, clears the auctions,
+/// walks the accepted winners to their tasks (charging travel cost and
+/// paying the auction payment), and records measurements in the world.
+SatRoundResult run_sat_round(model::World& world, Round k,
+                             const SatRoundParams& params);
+
+}  // namespace mcs::sat

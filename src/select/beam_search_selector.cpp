@@ -1,0 +1,98 @@
+#include "select/beam_search_selector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "select/travel_graph.h"
+
+namespace mcs::select {
+
+namespace {
+
+struct BeamState {
+  std::vector<std::size_t> path;  // candidate node indices (1..m)
+  std::uint32_t visited = 0;      // bitmask over candidates
+  Meters dist = 0.0;
+  Money reward = 0.0;
+  double priority = 0.0;          // profit + optimistic completion bound
+};
+
+Money profit_of(const SelectionInstance& inst, const BeamState& s) {
+  return s.reward - inst.travel.cost_for(s.dist);
+}
+
+/// Optimistic completion: every unvisited candidate whose cheapest possible
+/// leg still fits contributes its best-case marginal profit.
+double completion_bound(const SelectionInstance& inst, const TravelGraph& g,
+                        const BeamState& s, Meters dist_budget) {
+  double bound = 0.0;
+  const std::size_t current = s.path.empty() ? 0 : s.path.back();
+  const Meters remaining = dist_budget - s.dist;
+  for (std::size_t q = 1; q <= g.num_candidates(); ++q) {
+    if (s.visited & (std::uint32_t{1} << (q - 1))) continue;
+    const Meters cheapest = std::min(g.min_incoming(q), g.dist(current, q));
+    if (cheapest > remaining) continue;
+    const Money gain = g.reward(q) - inst.travel.cost_for(cheapest);
+    if (gain > 0.0) bound += gain;
+  }
+  return bound;
+}
+
+}  // namespace
+
+BeamSearchSelector::BeamSearchSelector(int width) : width_(width) {
+  MCS_CHECK(width >= 1, "beam width must be at least 1");
+}
+
+Selection BeamSearchSelector::select(const SelectionInstance& instance) const {
+  const std::size_t m = instance.candidates.size();
+  if (m == 0) return {};
+  MCS_CHECK(m <= 32, "beam search instance too large (mask width)");
+
+  const TravelGraph g(instance);
+  const Meters dist_budget = instance.distance_budget();
+
+  BeamState best;  // the empty tour, profit 0
+  std::vector<BeamState> beam{best};
+
+  for (std::size_t depth = 0; depth < m && !beam.empty(); ++depth) {
+    std::vector<BeamState> next;
+    next.reserve(beam.size() * m);
+    for (const BeamState& s : beam) {
+      const std::size_t current = s.path.empty() ? 0 : s.path.back();
+      for (std::size_t q = 1; q <= m; ++q) {
+        if (s.visited & (std::uint32_t{1} << (q - 1))) continue;
+        const Meters leg = g.dist(current, q);
+        if (s.dist + leg > dist_budget) continue;
+        BeamState t = s;
+        t.path.push_back(q);
+        t.visited |= std::uint32_t{1} << (q - 1);
+        t.dist += leg;
+        t.reward += g.reward(q);
+        t.priority =
+            profit_of(instance, t) + completion_bound(instance, g, t, dist_budget);
+        if (profit_of(instance, t) > profit_of(instance, best)) best = t;
+        next.push_back(std::move(t));
+      }
+    }
+    if (next.size() > static_cast<std::size_t>(width_)) {
+      std::partial_sort(next.begin(), next.begin() + width_, next.end(),
+                        [](const BeamState& a, const BeamState& b) {
+                          return a.priority > b.priority;
+                        });
+      next.resize(static_cast<std::size_t>(width_));
+    }
+    beam = std::move(next);
+  }
+
+  Selection out;
+  if (best.path.empty()) return out;
+  for (const std::size_t node : best.path) out.order.push_back(g.task(node));
+  out.distance = best.dist;
+  out.reward = best.reward;
+  out.cost = instance.travel.cost_for(best.dist);
+  return out;
+}
+
+}  // namespace mcs::select

@@ -1,0 +1,32 @@
+// Beam-search task selection: an anytime middle ground between the O(m^2)
+// greedy heuristic and the exponential exact solvers.
+//
+// The search expands partial tours breadth-first, keeping only the `width`
+// most promising states per depth. A state's priority is its realized
+// profit plus the same admissible completion bound the branch-and-bound
+// solver uses (each unvisited candidate counted at its cheapest possible
+// incoming edge), so promising-but-unfinished tours are not starved by
+// short greedy ones. Width 1 behaves like greedy-by-bound; width >= 2^m
+// degenerates to exhaustive search. Complexity O(width * m^2) per depth,
+// O(width * m^3) total.
+#pragma once
+
+#include "select/selector.h"
+
+namespace mcs::select {
+
+class BeamSearchSelector final : public TaskSelector {
+ public:
+  explicit BeamSearchSelector(int width = 8);
+
+  const char* name() const override { return "beam-search"; }
+
+  Selection select(const SelectionInstance& instance) const override;
+
+  int width() const { return width_; }
+
+ private:
+  int width_;
+};
+
+}  // namespace mcs::select

@@ -1,0 +1,22 @@
+// Exact branch-and-bound task selection.
+//
+// Depth-first search over visiting sequences with an admissible optimistic
+// bound: from a partial path, any still-unvisited candidate q can add at
+// most max(0, reward_q - cost(min incoming edge of q)) profit, and is only
+// counted when its cheapest remaining leg fits the leftover budget. Finds
+// the same optimum as the DP, typically much faster on sparse-profit
+// instances, and without the DP's exponential memory.
+#pragma once
+
+#include "select/selector.h"
+
+namespace mcs::select {
+
+class BranchBoundSelector final : public TaskSelector {
+ public:
+  const char* name() const override { return "branch-bound"; }
+
+  Selection select(const SelectionInstance& instance) const override;
+};
+
+}  // namespace mcs::select

@@ -1,0 +1,68 @@
+#include "select/brute_force_selector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "select/travel_graph.h"
+
+namespace mcs::select {
+
+BruteForceSelector::BruteForceSelector(int max_candidates)
+    : max_candidates_(max_candidates) {
+  MCS_CHECK(max_candidates >= 1 && max_candidates <= 12,
+            "brute force cap must be in [1, 12]");
+}
+
+Selection BruteForceSelector::select(const SelectionInstance& instance) const {
+  const std::size_t m = instance.candidates.size();
+  MCS_CHECK(m <= static_cast<std::size_t>(max_candidates_),
+            "instance too large for brute force");
+  if (m == 0) return {};
+
+  const TravelGraph g(instance);
+  const Meters dist_budget = instance.distance_budget();
+
+  Money best_profit = 0.0;
+  Selection best;  // empty selection: profit 0
+
+  for (std::size_t mask = 1; mask < (std::size_t{1} << m); ++mask) {
+    std::vector<std::size_t> nodes;  // candidate indices in this subset
+    Money reward = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (mask & (std::size_t{1} << j)) {
+        nodes.push_back(j);
+        reward += g.reward(j + 1);
+      }
+    }
+    // Shortest feasible open path over the subset = min over permutations.
+    std::sort(nodes.begin(), nodes.end());
+    Meters shortest = kInf;
+    std::vector<std::size_t> shortest_perm;
+    std::vector<std::size_t> perm = nodes;
+    do {
+      Meters d = g.dist(0, perm[0] + 1);
+      for (std::size_t i = 1; i < perm.size() && d <= dist_budget; ++i) {
+        d += g.dist(perm[i - 1] + 1, perm[i] + 1);
+      }
+      if (d <= dist_budget && d < shortest) {
+        shortest = d;
+        shortest_perm = perm;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    if (shortest == kInf) continue;
+    const Money profit = reward - instance.travel.cost_for(shortest);
+    if (profit > best_profit) {
+      best_profit = profit;
+      best.order.clear();
+      for (const std::size_t j : shortest_perm) best.order.push_back(g.task(j + 1));
+      best.distance = shortest;
+      best.reward = reward;
+      best.cost = instance.travel.cost_for(shortest);
+    }
+  }
+  return best;
+}
+
+}  // namespace mcs::select

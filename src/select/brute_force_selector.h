@@ -1,0 +1,23 @@
+// Exhaustive oracle: enumerates every subset and every visiting order.
+// O(m! * 2^m) — only usable for tiny instances; exists to validate the DP
+// and branch-and-bound solvers in tests.
+#pragma once
+
+#include "select/selector.h"
+
+namespace mcs::select {
+
+class BruteForceSelector final : public TaskSelector {
+ public:
+  /// Refuses instances with more than `max_candidates` (default 9).
+  explicit BruteForceSelector(int max_candidates = 9);
+
+  const char* name() const override { return "brute-force"; }
+
+  Selection select(const SelectionInstance& instance) const override;
+
+ private:
+  int max_candidates_;
+};
+
+}  // namespace mcs::select

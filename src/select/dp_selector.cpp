@@ -1,0 +1,146 @@
+#include "select/dp_selector.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.h"
+#include "geo/distance.h"
+#include "select/travel_graph.h"
+
+namespace mcs::select {
+
+DpSelector::DpSelector(int candidate_cap) : candidate_cap_(candidate_cap) {
+  MCS_CHECK(candidate_cap >= 1 && candidate_cap <= 20,
+            "DP candidate cap must be in [1, 20]");
+}
+
+SelectionInstance prune_candidates(const SelectionInstance& instance,
+                                   int cap) {
+  SelectionInstance pruned = instance;
+  const Meters budget = instance.distance_budget();
+  // A task farther than the whole budget can never be on a feasible path.
+  std::erase_if(pruned.candidates, [&](const Candidate& c) {
+    return geo::euclidean(instance.start, c.location) > budget;
+  });
+  if (pruned.candidates.size() <= static_cast<std::size_t>(cap)) return pruned;
+
+  // Score by the profit of performing the task alone; keep the best `cap`.
+  std::vector<std::size_t> idx(pruned.candidates.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto score = [&](std::size_t i) {
+    const Candidate& c = pruned.candidates[i];
+    return c.reward - instance.travel.cost_for(
+                          geo::euclidean(instance.start, c.location));
+  };
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return score(a) > score(b); });
+  idx.resize(static_cast<std::size_t>(cap));
+  std::sort(idx.begin(), idx.end());  // keep original relative order
+  std::vector<Candidate> kept;
+  kept.reserve(idx.size());
+  for (const std::size_t i : idx) kept.push_back(pruned.candidates[i]);
+  pruned.candidates = std::move(kept);
+  return pruned;
+}
+
+Selection DpSelector::select(const SelectionInstance& instance) const {
+  const SelectionInstance inst = prune_candidates(instance, candidate_cap_);
+  const std::size_t m = inst.candidates.size();
+  if (m == 0) return {};
+
+  const TravelGraph g(inst);
+  const Meters dist_budget = inst.distance_budget();
+  const std::size_t num_masks = std::size_t{1} << m;
+
+  // dp[mask * m + (j-1)]: shortest path visiting `mask`, ending at node j.
+  std::vector<Meters> dp(num_masks * m, kInf);
+  // parent node (0 = start) for path reconstruction.
+  std::vector<std::int8_t> parent(num_masks * m, -1);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const Meters d = g.dist(0, j + 1);
+    if (d <= dist_budget) {
+      const std::size_t mask = std::size_t{1} << j;
+      dp[mask * m + j] = d;
+      parent[mask * m + j] = 0;
+    }
+  }
+
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      const Meters cur = dp[mask * m + j];
+      if (cur == kInf) continue;
+      // Extend by one unvisited task q (Eq. 12).
+      for (std::size_t q = 0; q < m; ++q) {
+        if (mask & (std::size_t{1} << q)) continue;
+        const Meters next = cur + g.dist(j + 1, q + 1);
+        if (next > dist_budget) continue;  // infeasible extension
+        const std::size_t nmask = mask | (std::size_t{1} << q);
+        if (next < dp[nmask * m + q]) {
+          dp[nmask * m + q] = next;
+          parent[nmask * m + q] = static_cast<std::int8_t>(j + 1);
+        }
+      }
+    }
+  }
+
+  // Precompute subset rewards incrementally: R(mask) = R(mask without lowest
+  // set bit) + reward(lowest bit).
+  std::vector<Money> subset_reward(num_masks, 0.0);
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    const std::size_t low = mask & (~mask + 1);
+    const std::size_t j = static_cast<std::size_t>(std::countr_zero(mask));
+    subset_reward[mask] = subset_reward[mask ^ low] + g.reward(j + 1);
+  }
+
+  // Scan all feasible (mask, end) states for the best profit.
+  Money best_profit = 0.0;  // doing nothing is always available
+  std::size_t best_mask = 0;
+  std::size_t best_end = 0;
+  Meters best_dist = 0.0;
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    Meters shortest = kInf;
+    std::size_t end = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      if (dp[mask * m + j] < shortest) {
+        shortest = dp[mask * m + j];
+        end = j;
+      }
+    }
+    if (shortest == kInf) continue;  // unreachable within budget
+    const Money profit = subset_reward[mask] - inst.travel.cost_for(shortest);
+    if (profit > best_profit) {
+      best_profit = profit;
+      best_mask = mask;
+      best_end = end;
+      best_dist = shortest;
+    }
+  }
+
+  if (best_mask == 0) return {};
+
+  // Reconstruct the visiting order by walking parents backwards.
+  Selection s;
+  s.distance = best_dist;
+  s.reward = subset_reward[best_mask];
+  s.cost = inst.travel.cost_for(best_dist);
+  std::vector<TaskId> reversed;
+  std::size_t mask = best_mask;
+  std::size_t j = best_end;
+  while (true) {
+    reversed.push_back(g.task(j + 1));
+    const std::int8_t p = parent[mask * m + j];
+    MCS_ASSERT(p >= 0, "DP parent chain broken");
+    mask ^= (std::size_t{1} << j);
+    if (p == 0) break;
+    j = static_cast<std::size_t>(p - 1);
+  }
+  MCS_ASSERT(mask == 0, "DP parent chain did not consume the mask");
+  s.order.assign(reversed.rbegin(), reversed.rend());
+  return s;
+}
+
+}  // namespace mcs::select

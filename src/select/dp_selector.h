@@ -1,0 +1,41 @@
+// Optimal dynamic-programming task selection (paper §V-A).
+//
+// State: dp[mask][j] = length of the shortest simple path that starts at the
+// user's location, visits exactly the candidate set `mask`, and ends at
+// candidate j (Eq. 11). Transition: extend a set by one task (Eq. 12).
+// After filling the table, every subset whose shortest path fits the travel
+// budget is scored by profit R(mask) - cost(dp[mask]); the best feasible
+// subset wins. Complexity O(m^2 * 2^m) time, O(m * 2^m) memory.
+//
+// Instances larger than `candidate_cap` are first pruned to the cap by a
+// reward-minus-detour score (the paper's experiments use m = 20 total tasks,
+// but per-user candidate sets shrink quickly as tasks complete; the cap
+// keeps worst-case rounds tractable). With pruning the result is optimal
+// w.r.t. the kept candidates.
+#pragma once
+
+#include "select/selector.h"
+
+namespace mcs::select {
+
+class DpSelector final : public TaskSelector {
+ public:
+  /// `candidate_cap` must be in [1, 20] (the table is 2^cap * (cap+1)).
+  explicit DpSelector(int candidate_cap = 14);
+
+  const char* name() const override { return "dp"; }
+
+  Selection select(const SelectionInstance& instance) const override;
+
+  int candidate_cap() const { return candidate_cap_; }
+
+ private:
+  int candidate_cap_;
+};
+
+/// Drop candidates that cannot be reached within the budget at all, then, if
+/// still above `cap`, keep the `cap` best by reward - cost(direct distance).
+/// Exposed for tests and for other exact solvers.
+SelectionInstance prune_candidates(const SelectionInstance& instance, int cap);
+
+}  // namespace mcs::select

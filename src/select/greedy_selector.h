@@ -1,0 +1,28 @@
+// Greedy task selection (paper §V-B): repeatedly move to the candidate with
+// the highest marginal profit (reward minus cost of the leg from the current
+// location) while the travel-time budget allows, stopping when no candidate
+// improves the profit. O(m^2).
+#pragma once
+
+#include "select/selector.h"
+
+namespace mcs::select {
+
+class GreedySelector final : public TaskSelector {
+ public:
+  /// With `improve_with_two_opt`, the visiting order found greedily is
+  /// post-optimized with 2-opt (shorter walk, same task set) — still a
+  /// heuristic, but dominates plain greedy.
+  explicit GreedySelector(bool improve_with_two_opt = false);
+
+  const char* name() const override {
+    return two_opt_ ? "greedy+2opt" : "greedy";
+  }
+
+  Selection select(const SelectionInstance& instance) const override;
+
+ private:
+  bool two_opt_;
+};
+
+}  // namespace mcs::select

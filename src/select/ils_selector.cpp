@@ -1,0 +1,111 @@
+#include "select/ils_selector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geo/distance.h"
+#include "select/greedy_selector.h"
+#include "select/two_opt.h"
+
+namespace mcs::select {
+
+namespace {
+
+/// Insert every profitable unselected candidate at its cheapest feasible
+/// position (best-insertion), then 2-opt the tour. Repeats until no
+/// insertion improves the profit.
+Selection improve(const SelectionInstance& inst, Selection s) {
+  const Meters dist_budget = inst.distance_budget();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_set<TaskId> in_tour(s.order.begin(), s.order.end());
+
+    const Candidate* best_candidate = nullptr;
+    std::size_t best_pos = 0;
+    double best_gain = 1e-9;  // require a strictly positive improvement
+    Meters best_detour = 0.0;
+
+    for (const Candidate& c : inst.candidates) {
+      if (in_tour.count(c.task)) continue;
+      // Cheapest insertion position (0 = before the first stop).
+      for (std::size_t pos = 0; pos <= s.order.size(); ++pos) {
+        geo::Point prev = inst.start;
+        if (pos > 0) {
+          for (const Candidate& d : inst.candidates) {
+            if (d.task == s.order[pos - 1]) prev = d.location;
+          }
+        }
+        Meters detour = geo::euclidean(prev, c.location);
+        if (pos < s.order.size()) {
+          geo::Point next_pt{};
+          for (const Candidate& d : inst.candidates) {
+            if (d.task == s.order[pos]) next_pt = d.location;
+          }
+          detour += geo::euclidean(c.location, next_pt) -
+                    geo::euclidean(prev, next_pt);
+        }
+        if (s.distance + detour > dist_budget) continue;
+        const double gain = c.reward - inst.travel.cost_for(detour);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_candidate = &c;
+          best_pos = pos;
+          best_detour = detour;
+        }
+      }
+    }
+
+    if (best_candidate != nullptr) {
+      s.order.insert(s.order.begin() + static_cast<long>(best_pos),
+                     best_candidate->task);
+      s.distance += best_detour;
+      s.reward += best_candidate->reward;
+      s.cost = inst.travel.cost_for(s.distance);
+      changed = true;
+    }
+  }
+  if (s.order.size() >= 3) s = improve_two_opt(inst, s);
+  return s;
+}
+
+/// Drop `count` random stops from the tour.
+Selection perturb(const SelectionInstance& inst, Selection s, Rng& rng,
+                  std::size_t count) {
+  for (std::size_t i = 0; i < count && !s.order.empty(); ++i) {
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(s.order.size()) - 1));
+    s.order.erase(s.order.begin() + static_cast<long>(victim));
+  }
+  return evaluate_order(inst, s.order);
+}
+
+}  // namespace
+
+IlsSelector::IlsSelector(int iterations, std::uint64_t seed)
+    : iterations_(iterations), seed_(seed) {
+  MCS_CHECK(iterations >= 0, "iterations must be non-negative");
+}
+
+Selection IlsSelector::select(const SelectionInstance& instance) const {
+  if (instance.candidates.empty()) return {};
+
+  Selection incumbent =
+      improve(instance, GreedySelector().select(instance));
+  Rng rng(seed_ ^ (instance.candidates.size() * 0x9e3779b97f4a7c15ULL));
+
+  for (int it = 0; it < iterations_; ++it) {
+    const std::size_t kick =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    Selection trial = perturb(instance, incumbent, rng, kick);
+    trial = improve(instance, std::move(trial));
+    if (trial.profit() > incumbent.profit()) incumbent = std::move(trial);
+  }
+  // A tour with non-positive profit is never rational; fall back to empty.
+  if (incumbent.profit() < 0.0) return {};
+  return incumbent;
+}
+
+}  // namespace mcs::select

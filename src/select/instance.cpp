@@ -1,0 +1,39 @@
+#include "select/instance.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::select {
+
+Selection evaluate_order(const SelectionInstance& instance,
+                         const std::vector<TaskId>& order) {
+  Selection s;
+  s.order = order;
+  std::unordered_set<TaskId> seen;
+  geo::Point at = instance.start;
+  for (const TaskId id : order) {
+    MCS_CHECK(seen.insert(id).second, "task repeated in selection order");
+    const Candidate* found = nullptr;
+    for (const Candidate& c : instance.candidates) {
+      if (c.task == id) {
+        found = &c;
+        break;
+      }
+    }
+    MCS_CHECK(found != nullptr, "selection references unknown candidate");
+    s.distance += geo::euclidean(at, found->location);
+    s.reward += found->reward;
+    at = found->location;
+  }
+  s.cost = instance.travel.cost_for(s.distance);
+  return s;
+}
+
+bool is_feasible(const SelectionInstance& instance, const Selection& s,
+                 double tol) {
+  return instance.travel.time_for(s.distance) <= instance.time_budget + tol;
+}
+
+}  // namespace mcs::select

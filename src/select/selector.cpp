@@ -1,0 +1,64 @@
+#include "select/selector.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "select/beam_search_selector.h"
+#include "select/ils_selector.h"
+#include "select/branch_bound_selector.h"
+#include "select/brute_force_selector.h"
+#include "select/dp_selector.h"
+#include "select/greedy_selector.h"
+
+namespace mcs::select {
+
+SelectorKind parse_selector(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "dp" || lower == "dynamic-programming") return SelectorKind::kDp;
+  if (lower == "greedy") return SelectorKind::kGreedy;
+  if (lower == "greedy2opt" || lower == "greedy+2opt" || lower == "greedy-2opt") {
+    return SelectorKind::kGreedy2Opt;
+  }
+  if (lower == "bb" || lower == "branch-bound" || lower == "branchbound") {
+    return SelectorKind::kBranchBound;
+  }
+  if (lower == "brute" || lower == "brute-force") return SelectorKind::kBruteForce;
+  if (lower == "beam" || lower == "beam-search") return SelectorKind::kBeamSearch;
+  if (lower == "ils" || lower == "local-search") return SelectorKind::kIls;
+  throw Error("unknown task selector: " + name);
+}
+
+const char* selector_name(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kDp: return "dp";
+    case SelectorKind::kGreedy: return "greedy";
+    case SelectorKind::kGreedy2Opt: return "greedy+2opt";
+    case SelectorKind::kBranchBound: return "branch-bound";
+    case SelectorKind::kBruteForce: return "brute-force";
+    case SelectorKind::kBeamSearch: return "beam-search";
+    case SelectorKind::kIls: return "ils";
+  }
+  return "?";
+}
+
+std::unique_ptr<TaskSelector> make_selector(SelectorKind kind,
+                                            int dp_candidate_cap) {
+  switch (kind) {
+    case SelectorKind::kDp:
+      return std::make_unique<DpSelector>(dp_candidate_cap);
+    case SelectorKind::kGreedy:
+      return std::make_unique<GreedySelector>(false);
+    case SelectorKind::kGreedy2Opt:
+      return std::make_unique<GreedySelector>(true);
+    case SelectorKind::kBranchBound:
+      return std::make_unique<BranchBoundSelector>();
+    case SelectorKind::kBruteForce:
+      return std::make_unique<BruteForceSelector>();
+    case SelectorKind::kBeamSearch:
+      return std::make_unique<BeamSearchSelector>();
+    case SelectorKind::kIls:
+      return std::make_unique<IlsSelector>();
+  }
+  throw Error("unknown task selector kind");
+}
+
+}  // namespace mcs::select

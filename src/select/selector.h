@@ -1,0 +1,42 @@
+// TaskSelector: strategy interface for the per-user task selection problem.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "select/instance.h"
+
+namespace mcs::select {
+
+class TaskSelector {
+ public:
+  virtual ~TaskSelector() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Solve the instance. Solvers never return an infeasible selection and
+  /// never one with negative profit (doing nothing has profit 0, and users
+  /// are rational).
+  virtual Selection select(const SelectionInstance& instance) const = 0;
+};
+
+enum class SelectorKind {
+  kDp,          // optimal bitmask dynamic programming (paper §V-A)
+  kGreedy,      // greedy marginal-profit heuristic (paper §V-B)
+  kGreedy2Opt,  // greedy followed by 2-opt path improvement
+  kBranchBound, // exact branch-and-bound (same optimum as DP)
+  kBruteForce,  // exhaustive oracle for tests (tiny instances only)
+  kBeamSearch,  // width-bounded beam search (anytime, between greedy and DP)
+  kIls,         // iterated local search (for large instances)
+};
+
+SelectorKind parse_selector(const std::string& name);
+const char* selector_name(SelectorKind kind);
+
+/// Factory. `dp_candidate_cap` bounds the DP's exponential state space: when
+/// an instance has more candidates, the lowest-scoring ones are pruned
+/// before the exact solve (see DpSelector).
+std::unique_ptr<TaskSelector> make_selector(SelectorKind kind,
+                                            int dp_candidate_cap = 14);
+
+}  // namespace mcs::select

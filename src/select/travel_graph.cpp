@@ -1,0 +1,43 @@
+#include "select/travel_graph.h"
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::select {
+
+TravelGraph::TravelGraph(const SelectionInstance& instance)
+    : m_(instance.candidates.size()) {
+  const std::size_t n = m_ + 1;
+  d_.assign(n * n, 0.0);
+  r_.assign(n, 0.0);
+  tasks_.assign(n, kInvalidTask);
+  min_in_.assign(n, kInf);
+
+  std::vector<geo::Point> pts(n);
+  pts[0] = instance.start;
+  for (std::size_t i = 0; i < m_; ++i) {
+    pts[i + 1] = instance.candidates[i].location;
+    r_[i + 1] = instance.candidates[i].reward;
+    tasks_[i + 1] = instance.candidates[i].task;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Meters d = geo::euclidean(pts[i], pts[j]);
+      d_[i * n + j] = d;
+      d_[j * n + i] = d;
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      min_in_[i] = std::min(min_in_[i], d_[j * n + i]);
+    }
+  }
+}
+
+TaskId TravelGraph::task(std::size_t i) const {
+  MCS_CHECK(i >= 1 && i <= m_, "travel graph node out of range");
+  return tasks_[i];
+}
+
+}  // namespace mcs::select

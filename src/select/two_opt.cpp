@@ -1,0 +1,55 @@
+#include "select/two_opt.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::select {
+
+Selection improve_two_opt(const SelectionInstance& instance,
+                          const Selection& s) {
+  if (s.order.size() < 3) return s;
+
+  std::unordered_map<TaskId, geo::Point> where;
+  for (const Candidate& c : instance.candidates) where[c.task] = c.location;
+
+  std::vector<TaskId> order = s.order;
+  auto loc = [&](std::size_t i) {
+    const auto it = where.find(order[i]);
+    MCS_CHECK(it != where.end(), "2-opt: unknown task in order");
+    return it->second;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Reverse order[i..j]; edges change at (i-1, i) and (j, j+1). For an
+    // open path the last node has no outgoing edge, handled by `after`.
+    for (std::size_t i = 0; i < order.size() - 1 && !improved; ++i) {
+      const geo::Point before = (i == 0) ? instance.start : loc(i - 1);
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        const double removed =
+            geo::euclidean(before, loc(i)) +
+            (j + 1 < order.size() ? geo::euclidean(loc(j), loc(j + 1)) : 0.0);
+        const double added =
+            geo::euclidean(before, loc(j)) +
+            (j + 1 < order.size() ? geo::euclidean(loc(i), loc(j + 1)) : 0.0);
+        if (added < removed - 1e-9) {
+          std::reverse(order.begin() + static_cast<long>(i),
+                       order.begin() + static_cast<long>(j) + 1);
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  Selection out = evaluate_order(instance, order);
+  MCS_ASSERT(out.distance <= s.distance + 1e-6,
+             "2-opt must not lengthen the path");
+  return out;
+}
+
+}  // namespace mcs::select

@@ -1,0 +1,15 @@
+// 2-opt path improvement for an open path with a fixed start: reversing a
+// segment of the visiting order can only shorten the walk, never change the
+// task set, so reward is preserved while cost (and time) drop.
+#pragma once
+
+#include "select/instance.h"
+
+namespace mcs::select {
+
+/// Repeatedly apply improving 2-opt segment reversals until a local optimum;
+/// returns the improved selection (same tasks, possibly shorter path).
+Selection improve_two_opt(const SelectionInstance& instance,
+                          const Selection& s);
+
+}  // namespace mcs::select

@@ -1,0 +1,90 @@
+#include "sim/ascii_map.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mcs::sim {
+
+namespace {
+
+char density_glyph(int users) {
+  if (users <= 0) return ' ';
+  if (users == 1) return '.';
+  if (users == 2) return ',';
+  if (users <= 4) return ':';
+  if (users <= 7) return ';';
+  return '#';
+}
+
+char task_glyph(const model::Task& t, Round round) {
+  if (t.completed()) return '*';
+  if (t.expired_at(round)) return '!';
+  const int tenths = std::min(
+      9, static_cast<int>(t.progress() * 10.0));
+  return static_cast<char>('0' + tenths);
+}
+
+}  // namespace
+
+std::string render_ascii_map(const model::World& world,
+                             const AsciiMapOptions& options) {
+  MCS_CHECK(options.width >= 4 && options.height >= 2, "map too small");
+  const int w = options.width;
+  const int h = options.height;
+  const geo::BoundingBox& area = world.area();
+
+  auto cell_of = [&](geo::Point p) {
+    const geo::Point c = area.clamp(p);
+    int cx = static_cast<int>((c.x - area.lo.x) / area.width() * w);
+    // Screen rows grow downward; map y grows upward.
+    int cy = static_cast<int>((area.hi.y - c.y) / area.height() * h);
+    cx = std::clamp(cx, 0, w - 1);
+    cy = std::clamp(cy, 0, h - 1);
+    return std::pair<int, int>{cx, cy};
+  };
+
+  std::vector<int> density(static_cast<std::size_t>(w * h), 0);
+  for (const model::User& u : world.users()) {
+    const auto [cx, cy] = cell_of(u.location());
+    ++density[static_cast<std::size_t>(cy * w + cx)];
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+          density_glyph(density[static_cast<std::size_t>(y * w + x)]);
+    }
+  }
+
+  // Tasks overwrite density; the least-complete task in a cell wins.
+  std::vector<double> cell_progress(static_cast<std::size_t>(w * h), 2.0);
+  for (const model::Task& t : world.tasks()) {
+    const auto [cx, cy] = cell_of(t.location());
+    const auto idx = static_cast<std::size_t>(cy * w + cx);
+    if (t.progress() < cell_progress[idx]) {
+      cell_progress[idx] = t.progress();
+      grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
+          task_glyph(t, options.round);
+    }
+  }
+
+  std::string out;
+  out += '+' + std::string(static_cast<std::size_t>(w), '-') + "+\n";
+  for (const std::string& row : grid) {
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  out += '+' + std::string(static_cast<std::size_t>(w), '-') + "+\n";
+  if (options.legend) {
+    out += "tasks: 0-9 progress/10, * complete, ! expired;"
+           " users: . , : ; # by density\n";
+  }
+  return out;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,31 @@
+// ASCII rendering of a world: a terminal heat map of task progress and
+// user density, used by the CLI examples (quickstart --map) to make a
+// campaign's spatial story visible without any plotting dependency.
+//
+//   . , : ; #   user density (empty -> dense)
+//   0..9        task progress in tenths (digit at the task's cell)
+//   *           completed task
+//   !           expired, incomplete task
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "model/world.h"
+
+namespace mcs::sim {
+
+struct AsciiMapOptions {
+  int width = 60;   // characters
+  int height = 30;  // lines
+  Round round = 1;  // used to classify tasks as expired
+  bool legend = true;
+};
+
+/// Render the world as a character grid. Tasks overwrite density glyphs in
+/// their cell; if several tasks share one cell the worst-progress one is
+/// shown (that is the one needing attention).
+std::string render_ascii_map(const model::World& world,
+                             const AsciiMapOptions& options = {});
+
+}  // namespace mcs::sim

@@ -1,0 +1,31 @@
+#include "sim/event_log.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace mcs::sim {
+
+void EventLog::record(const SensingEvent& e) {
+  if (!enabled_) return;
+  events_.push_back(e);
+}
+
+std::vector<SensingEvent> EventLog::round_events(Round k) const {
+  std::vector<SensingEvent> out;
+  for (const auto& e : events_) {
+    if (e.round == k) out.push_back(e);
+  }
+  return out;
+}
+
+void EventLog::write_csv(std::ostream& out) const {
+  out << "round,user,task,reward,leg_distance\n";
+  for (const auto& e : events_) {
+    out << e.round << ',' << e.user << ',' << e.task << ','
+        << format_fixed(e.reward, 4) << ',' << format_fixed(e.leg_distance, 2)
+        << '\n';
+  }
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,42 @@
+// Optional per-measurement event trace. Disabled by default to keep sweep
+// memory flat; examples and debugging runs enable it to replay exactly who
+// sensed what, where and for how much.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mcs::sim {
+
+struct SensingEvent {
+  Round round = 0;
+  UserId user = kInvalidUser;
+  TaskId task = kInvalidTask;
+  Money reward = 0.0;
+  Meters leg_distance = 0.0;  // distance walked for this leg of the tour
+};
+
+class EventLog {
+ public:
+  explicit EventLog(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void record(const SensingEvent& e);
+
+  const std::vector<SensingEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events of one round, in delivery order.
+  std::vector<SensingEvent> round_events(Round k) const;
+
+  /// Write a CSV dump (round,user,task,reward,leg_distance).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  bool enabled_;
+  std::vector<SensingEvent> events_;
+};
+
+}  // namespace mcs::sim

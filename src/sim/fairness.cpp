@@ -1,0 +1,77 @@
+#include "sim/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcs::sim {
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) {
+    MCS_CHECK(v >= -1e-12, "gini expects non-negative values");
+    total += v;
+  }
+  if (total <= 0.0) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * values[i];
+  }
+  // The formula is exact in [0, (n-1)/n]; clamp away summation dust.
+  return std::clamp(weighted / (n * total), 0.0, 1.0);
+}
+
+double jain_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sq);
+}
+
+std::vector<double> user_rewards(const model::World& world) {
+  std::vector<double> out;
+  out.reserve(world.num_users());
+  for (const model::User& u : world.users()) out.push_back(u.total_reward());
+  return out;
+}
+
+std::vector<double> user_profits(const model::World& world) {
+  std::vector<double> out;
+  out.reserve(world.num_users());
+  for (const model::User& u : world.users()) {
+    // Selections are individually rational, so lifetime profit is >= 0 up
+    // to floating point; clamp the dust for the fairness metrics.
+    out.push_back(std::max(0.0, u.total_profit()));
+  }
+  return out;
+}
+
+FairnessReport fairness_report(const model::World& world) {
+  FairnessReport r;
+  const auto rewards = user_rewards(world);
+  const auto profits = user_profits(world);
+  r.reward_gini = gini_coefficient(rewards);
+  r.reward_jain = jain_index(rewards);
+  r.profit_gini = gini_coefficient(profits);
+  r.profit_jain = jain_index(profits);
+  std::size_t active = 0;
+  for (const model::User& u : world.users()) {
+    if (u.tasks_contributed() > 0) ++active;
+  }
+  r.active_fraction = world.num_users() == 0
+                          ? 0.0
+                          : static_cast<double>(active) /
+                                static_cast<double>(world.num_users());
+  return r;
+}
+
+}  // namespace mcs::sim

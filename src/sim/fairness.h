@@ -1,0 +1,39 @@
+// Fairness metrics over user earnings.
+//
+// A mechanism that completes every task by paying three couriers a fortune
+// is a different system from one that spreads work across the crowd; the
+// paper measures balance across *tasks* (Fig. 9a), this module adds the
+// dual view across *users*: the Gini coefficient and Jain's fairness index
+// of per-user profit/reward, used by the fairness extension bench.
+#pragma once
+
+#include <vector>
+
+#include "model/world.h"
+
+namespace mcs::sim {
+
+/// Gini coefficient in [0,1]; 0 = perfectly equal. Negative values are
+/// rejected (earnings are non-negative in this system); an all-zero or
+/// empty vector yields 0 (degenerate equality).
+double gini_coefficient(std::vector<double> values);
+
+/// Jain's fairness index in (0,1]; 1 = perfectly equal. An all-zero or
+/// empty vector yields 1.
+double jain_index(const std::vector<double>& values);
+
+/// Per-user lifetime rewards / profits of a world.
+std::vector<double> user_rewards(const model::World& world);
+std::vector<double> user_profits(const model::World& world);
+
+struct FairnessReport {
+  double reward_gini = 0.0;
+  double reward_jain = 1.0;
+  double profit_gini = 0.0;
+  double profit_jain = 1.0;
+  double active_fraction = 0.0;  // users with at least one contribution
+};
+
+FairnessReport fairness_report(const model::World& world);
+
+}  // namespace mcs::sim

@@ -1,0 +1,70 @@
+// Metric definitions used throughout §VI of the paper.
+//
+//  * coverage           — % of tasks with at least one measurement (spatial
+//                         popularity balance, Fig. 6)
+//  * overall completeness — % of required measurements delivered in time:
+//                         100 * sum_i min(pi_i, phi_i) / sum_i phi_i (Fig. 7)
+//  * tasks completed    — % of tasks that reached phi_i before the deadline
+//  * avg measurement    — mean received count per task (capped at phi_i,
+//                         Fig. 8a)
+//  * variance of measurements — population variance of per-task received
+//                         counts (participation balance, Fig. 9a)
+//  * avg reward per measurement — total payout / total measurements (platform
+//                         welfare proxy, Fig. 9b)
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/world.h"
+
+namespace mcs::sim {
+
+/// Snapshot of one finished round.
+struct RoundMetrics {
+  Round round = 0;
+  int new_measurements = 0;         // delivered during this round
+  long long total_measurements = 0; // cumulative
+  double coverage_pct = 0.0;
+  double completeness_pct = 0.0;
+  Money payout = 0.0;               // paid during this round
+  int active_users = 0;             // users who performed >= 1 task
+  std::vector<Money> user_profit;   // profit of every user this round
+  Money mean_user_profit = 0.0;
+  // Mean published reward over the tasks open at round start (round-start
+  // snapshot for intra-round mechanisms); 0 when nothing is open. Feeds the
+  // reward-dynamics diagnostic bench.
+  Money mean_open_reward = 0.0;
+  int open_tasks = 0;
+};
+
+/// End-of-campaign summary.
+struct CampaignMetrics {
+  double coverage_pct = 0.0;
+  double completeness_pct = 0.0;
+  double tasks_completed_pct = 0.0;
+  double avg_measurements = 0.0;        // capped per-task mean
+  double measurement_variance = 0.0;    // population variance (uncapped)
+  Money total_paid = 0.0;
+  long long total_measurements = 0;
+  Money avg_reward_per_measurement = 0.0;
+  Money budget_overdraft = 0.0;
+  std::vector<int> per_task_received;   // final counts, one per task
+  // User-side fairness (see sim/fairness.h).
+  double reward_gini = 0.0;
+  double reward_jain = 1.0;
+  double active_user_fraction = 0.0;
+};
+
+double coverage_pct(const model::World& world);
+double completeness_pct(const model::World& world);
+double tasks_completed_pct(const model::World& world);
+double avg_measurements_capped(const model::World& world);
+double measurement_variance(const model::World& world);
+
+/// Full summary from the final world state; `total_paid` and `overdraft`
+/// come from the simulator's budget tracker.
+CampaignMetrics summarize(const model::World& world, Money total_paid,
+                          Money overdraft);
+
+}  // namespace mcs::sim

@@ -1,0 +1,54 @@
+// Scenario generation: builds random Worlds matching the experimental setup
+// of §VI — uniformly placed tasks and users in a square area, random
+// deadlines and per-user time budgets.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/world.h"
+
+namespace mcs::sim {
+
+struct ScenarioParams {
+  // Deployment area and population (§VI defaults).
+  Meters area_side = 3000.0;
+  int num_tasks = 20;
+  int num_users = 100;
+
+  // Task requirements. phi_i is drawn uniformly from
+  // [required_measurements - required_spread, required_measurements +
+  // required_spread] (clamped to >= 1); the paper's setup is homogeneous
+  // (spread 0, phi = 20).
+  int required_measurements = 20;  // phi_i (center)
+  int required_spread = 0;
+  Round deadline_min = 5;          // deadlines drawn uniformly from
+  Round deadline_max = 15;         // [deadline_min, deadline_max]
+
+  // Travel model (§VI: walking 2 m/s, 0.002 $/m).
+  double speed_mps = 2.0;
+  Money cost_per_meter = 0.002;
+
+  // Per-round user time budget, uniform in [budget_min_s, budget_max_s].
+  // The paper never states this distribution; see DESIGN.md §4.
+  Seconds user_budget_min_s = 300.0;
+  Seconds user_budget_max_s = 600.0;
+
+  // Neighbor radius R for the demand indicator's X3 (paper gives no value).
+  Meters neighbor_radius = 500.0;
+
+  void validate() const;
+};
+
+/// Build a world with `params.num_tasks` tasks and `params.num_users` users,
+/// locations uniform in the area, deadlines and budgets uniform in their
+/// ranges. Consumes `rng`.
+model::World generate_world(const ScenarioParams& params, Rng& rng);
+
+/// Clustered variant: tasks are placed around `clusters` uniformly-drawn
+/// centers with Gaussian spread `sigma` (remote-cluster scenarios make the
+/// popularity imbalance the paper motivates even starker). Users stay
+/// uniform.
+model::World generate_clustered_world(const ScenarioParams& params,
+                                      int clusters, Meters sigma, Rng& rng);
+
+}  // namespace mcs::sim

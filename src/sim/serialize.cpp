@@ -1,0 +1,177 @@
+#include "sim/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mcs::sim {
+
+Json scenario_to_json(const ScenarioParams& p) {
+  Json::Object o;
+  o["area_side"] = Json(p.area_side);
+  o["num_tasks"] = Json(p.num_tasks);
+  o["num_users"] = Json(p.num_users);
+  o["required_measurements"] = Json(p.required_measurements);
+  o["required_spread"] = Json(p.required_spread);
+  o["deadline_min"] = Json(p.deadline_min);
+  o["deadline_max"] = Json(p.deadline_max);
+  o["speed_mps"] = Json(p.speed_mps);
+  o["cost_per_meter"] = Json(p.cost_per_meter);
+  o["user_budget_min_s"] = Json(p.user_budget_min_s);
+  o["user_budget_max_s"] = Json(p.user_budget_max_s);
+  o["neighbor_radius"] = Json(p.neighbor_radius);
+  return Json(std::move(o));
+}
+
+ScenarioParams scenario_from_json(const Json& json) {
+  const Json::Object& o = json.as_object();
+  ScenarioParams p;
+  for (const auto& [key, value] : o) {
+    if (key == "area_side") p.area_side = value.as_number();
+    else if (key == "num_tasks") p.num_tasks = static_cast<int>(value.as_int());
+    else if (key == "num_users") p.num_users = static_cast<int>(value.as_int());
+    else if (key == "required_measurements")
+      p.required_measurements = static_cast<int>(value.as_int());
+    else if (key == "required_spread")
+      p.required_spread = static_cast<int>(value.as_int());
+    else if (key == "deadline_min")
+      p.deadline_min = static_cast<Round>(value.as_int());
+    else if (key == "deadline_max")
+      p.deadline_max = static_cast<Round>(value.as_int());
+    else if (key == "speed_mps") p.speed_mps = value.as_number();
+    else if (key == "cost_per_meter") p.cost_per_meter = value.as_number();
+    else if (key == "user_budget_min_s")
+      p.user_budget_min_s = value.as_number();
+    else if (key == "user_budget_max_s")
+      p.user_budget_max_s = value.as_number();
+    else if (key == "neighbor_radius") p.neighbor_radius = value.as_number();
+    else
+      throw Error("unknown scenario key: " + key);
+  }
+  p.validate();
+  return p;
+}
+
+ScenarioParams load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  MCS_CHECK(in.good(), "cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scenario_from_json(Json::parse(buffer.str()));
+}
+
+namespace {
+
+Json point_to_json(geo::Point p) {
+  Json::Object o;
+  o["x"] = Json(p.x);
+  o["y"] = Json(p.y);
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+Json world_to_json(const model::World& world) {
+  Json::Object o;
+  o["area_side"] = Json(world.area().width());
+  o["neighbor_radius"] = Json(world.neighbor_radius());
+  Json::Object travel;
+  travel["speed_mps"] = Json(world.travel().speed_mps);
+  travel["cost_per_meter"] = Json(world.travel().cost_per_meter);
+  o["travel"] = Json(std::move(travel));
+
+  Json tasks = Json::array();
+  for (const model::Task& t : world.tasks()) {
+    Json::Object jt;
+    jt["id"] = Json(t.id());
+    jt["location"] = point_to_json(t.location());
+    jt["deadline"] = Json(t.deadline());
+    jt["required"] = Json(t.required());
+    jt["received"] = Json(t.received());
+    jt["completed"] = Json(t.completed());
+    jt["total_paid"] = Json(t.total_paid());
+    Json contributors = Json::array();
+    for (const auto& m : t.measurements()) {
+      Json::Object jm;
+      jm["user"] = Json(m.user);
+      jm["round"] = Json(m.round);
+      jm["reward"] = Json(m.reward_paid);
+      contributors.push_back(Json(std::move(jm)));
+    }
+    jt["measurements"] = std::move(contributors);
+    tasks.push_back(Json(std::move(jt)));
+  }
+  o["tasks"] = std::move(tasks);
+
+  Json users = Json::array();
+  for (const model::User& u : world.users()) {
+    Json::Object ju;
+    ju["id"] = Json(u.id());
+    ju["home"] = point_to_json(u.home());
+    ju["time_budget_s"] = Json(u.time_budget());
+    ju["tasks_contributed"] = Json(static_cast<long long>(u.tasks_contributed()));
+    ju["total_reward"] = Json(u.total_reward());
+    ju["total_cost"] = Json(u.total_cost());
+    users.push_back(Json(std::move(ju)));
+  }
+  o["users"] = std::move(users);
+  return Json(std::move(o));
+}
+
+Json campaign_to_json(const CampaignMetrics& m) {
+  Json::Object o;
+  o["coverage_pct"] = Json(m.coverage_pct);
+  o["completeness_pct"] = Json(m.completeness_pct);
+  o["tasks_completed_pct"] = Json(m.tasks_completed_pct);
+  o["avg_measurements"] = Json(m.avg_measurements);
+  o["measurement_variance"] = Json(m.measurement_variance);
+  o["total_paid"] = Json(m.total_paid);
+  o["total_measurements"] = Json(m.total_measurements);
+  o["avg_reward_per_measurement"] = Json(m.avg_reward_per_measurement);
+  o["budget_overdraft"] = Json(m.budget_overdraft);
+  o["reward_gini"] = Json(m.reward_gini);
+  o["reward_jain"] = Json(m.reward_jain);
+  o["active_user_fraction"] = Json(m.active_user_fraction);
+  Json counts = Json::array();
+  for (const int c : m.per_task_received) counts.push_back(Json(c));
+  o["per_task_received"] = std::move(counts);
+  return Json(std::move(o));
+}
+
+Json round_to_json(const RoundMetrics& m) {
+  Json::Object o;
+  o["round"] = Json(m.round);
+  o["new_measurements"] = Json(m.new_measurements);
+  o["total_measurements"] = Json(m.total_measurements);
+  o["coverage_pct"] = Json(m.coverage_pct);
+  o["completeness_pct"] = Json(m.completeness_pct);
+  o["payout"] = Json(m.payout);
+  o["active_users"] = Json(m.active_users);
+  o["mean_user_profit"] = Json(m.mean_user_profit);
+  o["mean_open_reward"] = Json(m.mean_open_reward);
+  o["open_tasks"] = Json(m.open_tasks);
+  return Json(std::move(o));
+}
+
+Json rounds_to_json(const std::vector<RoundMetrics>& history) {
+  Json out = Json::array();
+  for (const RoundMetrics& m : history) out.push_back(round_to_json(m));
+  return out;
+}
+
+Json events_to_json(const EventLog& log) {
+  Json out = Json::array();
+  for (const SensingEvent& e : log.events()) {
+    Json::Object o;
+    o["round"] = Json(e.round);
+    o["user"] = Json(e.user);
+    o["task"] = Json(e.task);
+    o["reward"] = Json(e.reward);
+    o["leg_distance"] = Json(e.leg_distance);
+    out.push_back(Json(std::move(o)));
+  }
+  return out;
+}
+
+}  // namespace mcs::sim

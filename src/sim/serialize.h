@@ -1,0 +1,37 @@
+// JSON serialization of scenarios, worlds and campaign results.
+//
+// Purpose: (a) scenario configs as versionable files, (b) machine-readable
+// result dumps for external plotting/analysis, (c) world snapshots for
+// debugging a specific campaign. Scenario round-trips (to_json ∘ from_json
+// = identity); worlds and metrics are export-only.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "model/world.h"
+#include "sim/event_log.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace mcs::sim {
+
+Json scenario_to_json(const ScenarioParams& params);
+
+/// Missing keys fall back to the ScenarioParams defaults; unknown keys are
+/// rejected (config typos should not pass silently).
+ScenarioParams scenario_from_json(const Json& json);
+
+/// Convenience: parse a JSON file into scenario parameters.
+ScenarioParams load_scenario(const std::string& path);
+
+/// Full world snapshot: area, travel model, tasks (with progress and
+/// contributor lists), users (with earnings).
+Json world_to_json(const model::World& world);
+
+Json campaign_to_json(const CampaignMetrics& metrics);
+Json round_to_json(const RoundMetrics& metrics);
+Json rounds_to_json(const std::vector<RoundMetrics>& history);
+Json events_to_json(const EventLog& log);
+
+}  // namespace mcs::sim

@@ -1,0 +1,183 @@
+#include "sim/simulator.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "geo/distance.h"
+
+namespace mcs::sim {
+
+Simulator::Simulator(model::World world,
+                     std::unique_ptr<incentive::IncentiveMechanism> mechanism,
+                     std::unique_ptr<select::TaskSelector> selector,
+                     SimulatorParams params,
+                     std::unique_ptr<MobilityModel> mobility)
+    : world_(std::move(world)),
+      mechanism_(std::move(mechanism)),
+      selector_(std::move(selector)),
+      params_(params),
+      mobility_(mobility ? std::move(mobility)
+                         : std::make_unique<StaticHomeMobility>()),
+      mobility_rng_(params.order_seed ^ 0xb0b1b2b3b4b5b6b7ULL),
+      budget_(params.platform_budget, /*strict=*/false),
+      events_(params.record_events) {
+  MCS_CHECK(mechanism_ != nullptr, "simulator needs a mechanism");
+  MCS_CHECK(selector_ != nullptr, "simulator needs a selector");
+  MCS_CHECK(params.max_rounds >= 1, "max_rounds must be at least 1");
+}
+
+namespace {
+
+std::vector<bool> open_tasks(const model::World& world,
+                             const incentive::IncentiveMechanism& mechanism,
+                             Round k) {
+  std::vector<bool> open(world.num_tasks(), false);
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    const model::Task& t = world.tasks()[i];
+    open[i] =
+        !t.completed() && !t.expired_at(k) && mechanism.reward(t.id()) > 0.0;
+  }
+  return open;
+}
+
+select::SelectionInstance make_instance(
+    const model::World& world, const incentive::IncentiveMechanism& mechanism,
+    const model::User& u, const std::vector<bool>& open, geo::Point start,
+    Seconds time_budget) {
+  select::SelectionInstance inst;
+  inst.start = start;
+  inst.travel = world.travel();
+  inst.time_budget = time_budget;
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    if (!open[i]) continue;
+    const model::Task& t = world.tasks()[i];
+    if (t.has_contributed(u.id())) continue;
+    const Money reward = mechanism.reward(t.id());
+    if (reward <= 0.0) continue;
+    inst.candidates.push_back({t.id(), t.location(), reward});
+  }
+  return inst;
+}
+
+}  // namespace
+
+std::vector<select::SelectionInstance> Simulator::peek_instances() {
+  MCS_CHECK(next_round_ <= params_.max_rounds, "campaign already over");
+  const Round k = next_round_;
+  mechanism_->update_rewards(world_, k);
+  const std::vector<bool> open = open_tasks(world_, *mechanism_, k);
+  std::vector<select::SelectionInstance> out;
+  out.reserve(world_.num_users());
+  for (const model::User& u : world_.users()) {
+    out.push_back(make_instance(world_, *mechanism_, u, open, u.home(),
+                                u.time_budget()));
+  }
+  return out;
+}
+
+bool Simulator::all_tasks_closed() const {
+  for (const model::Task& t : world_.tasks()) {
+    if (!t.completed() && !t.expired_at(next_round_)) return false;
+  }
+  return true;
+}
+
+const RoundMetrics& Simulator::step() {
+  MCS_CHECK(next_round_ <= params_.max_rounds, "campaign already over");
+  const Round k = next_round_;
+  const bool intra_round = mechanism_->updates_within_round();
+
+  // (1)+(2) Platform updates and publishes rewards for round k.
+  mechanism_->update_rewards(world_, k);
+
+  // Which tasks are open when the round begins. For round-granularity
+  // mechanisms, selections are made against this snapshot and every
+  // delivery within the round is honored; intra-round mechanisms reprice
+  // before each user session, but a task that completes mid-round likewise
+  // stays deliverable for the users of this round.
+  const std::vector<bool> open = open_tasks(world_, *mechanism_, k);
+
+  RoundMetrics rm;
+  rm.round = k;
+  rm.user_profit.assign(world_.num_users(), 0.0);
+  for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
+    if (!open[i]) continue;
+    rm.mean_open_reward += mechanism_->reward(static_cast<TaskId>(i));
+    ++rm.open_tasks;
+  }
+  if (rm.open_tasks > 0) rm.mean_open_reward /= rm.open_tasks;
+
+  const long long before = world_.total_received();
+  const Money paid_before = budget_.spent();
+
+  // Users take their sessions in a shuffled order each round.
+  std::vector<UserId> visit_order(world_.num_users());
+  std::iota(visit_order.begin(), visit_order.end(), UserId{0});
+  Rng order_rng(params_.order_seed +
+                0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k));
+  order_rng.shuffle(visit_order);
+
+  // (3)+(4) Every user selects and performs a task set.
+  for (const UserId uid : visit_order) {
+    model::User& u = world_.user(uid);
+    u.set_location(
+        mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
+
+    if (intra_round) mechanism_->update_rewards(world_, k);
+
+    const select::SelectionInstance inst = make_instance(
+        world_, *mechanism_, u, open, u.location(), u.time_budget());
+
+    const select::Selection sel = selector_->select(inst);
+    MCS_ASSERT(select::is_feasible(inst, sel),
+               "selector returned an infeasible tour");
+
+    Money reward_earned = 0.0;
+    geo::Point at = u.location();
+    for (const TaskId id : sel.order) {
+      model::Task& t = world_.task(id);
+      const Money reward = mechanism_->reward(id);
+      const Meters leg = geo::euclidean(at, t.location());
+      t.add_measurement(u.id(), k, reward);
+      u.mark_contributed(id);
+      budget_.pay(reward);
+      reward_earned += reward;
+      events_.record({k, u.id(), id, reward, leg});
+      at = t.location();
+    }
+    u.set_location(at);
+
+    const Money cost = world_.travel().cost_for(sel.distance);
+    u.add_earnings(reward_earned, cost);
+    rm.user_profit[static_cast<std::size_t>(uid)] = reward_earned - cost;
+    if (!sel.order.empty()) ++rm.active_users;
+  }
+
+  // (5) Round bookkeeping; the next update_rewards() call recomputes
+  // demands from this new state.
+  rm.new_measurements = static_cast<int>(world_.total_received() - before);
+  rm.total_measurements = world_.total_received();
+  rm.coverage_pct = coverage_pct(world_);
+  rm.completeness_pct = completeness_pct(world_);
+  rm.payout = budget_.spent() - paid_before;
+  rm.mean_user_profit = mean_of(rm.user_profit);
+
+  history_.push_back(std::move(rm));
+  ++next_round_;
+  return history_.back();
+}
+
+CampaignMetrics Simulator::run() {
+  while (next_round_ <= params_.max_rounds && !all_tasks_closed()) {
+    step();
+  }
+  return summary();
+}
+
+CampaignMetrics Simulator::summary() const {
+  return summarize(world_, budget_.spent(), budget_.overdraft());
+}
+
+}  // namespace mcs::sim

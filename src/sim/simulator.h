@@ -1,0 +1,91 @@
+// The round-based crowdsensing campaign of Fig. 1.
+//
+// Each sensing round k:
+//   (1) the platform updates rewards from the previous round's demands,
+//   (2) tasks (with rewards) are published,
+//   (3) every user solves its task-selection problem (Eq. 1),
+//   (4) users walk their tours and upload measurements, earning the round's
+//       published reward per accepted measurement and paying travel cost,
+//   (5) the platform recomputes task demands for the next round.
+// Completed and expired tasks are withdrawn at round boundaries. The loop
+// runs until `max_rounds` or until no open task remains.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "incentive/budget.h"
+#include "incentive/mechanism.h"
+#include "model/world.h"
+#include "select/selector.h"
+#include "sim/event_log.h"
+#include "sim/metrics.h"
+#include "sim/mobility.h"
+
+namespace mcs::sim {
+
+struct SimulatorParams {
+  Round max_rounds = 15;
+  Money platform_budget = 1000.0;  // B
+  bool record_events = false;      // keep a full per-measurement trace
+  // Users act in a freshly shuffled order each round (only observable with
+  // mechanisms that reprice within a round); the shuffle derives from this
+  // seed, keeping campaigns bit-reproducible.
+  std::uint64_t order_seed = 1;
+};
+
+class Simulator {
+ public:
+  /// Owns the world, the mechanism and the selector for the campaign.
+  /// `mobility` defaults to the paper's static-home model when null.
+  Simulator(model::World world,
+            std::unique_ptr<incentive::IncentiveMechanism> mechanism,
+            std::unique_ptr<select::TaskSelector> selector,
+            SimulatorParams params,
+            std::unique_ptr<MobilityModel> mobility = nullptr);
+
+  /// Execute one sensing round; returns its metrics. Rounds are numbered
+  /// from 1. Calling past max_rounds is an error.
+  const RoundMetrics& step();
+
+  /// Run rounds until max_rounds (or until every task is closed); returns
+  /// the end-of-campaign summary.
+  CampaignMetrics run();
+
+  /// True when every task is either completed or past its deadline at the
+  /// *next* round, i.e. there is nothing left to sense.
+  bool all_tasks_closed() const;
+
+  Round current_round() const { return next_round_ - 1; }
+  const model::World& world() const { return world_; }
+  const incentive::IncentiveMechanism& mechanism() const { return *mechanism_; }
+  const select::TaskSelector& selector() const { return *selector_; }
+  const MobilityModel& mobility() const { return *mobility_; }
+  const std::vector<RoundMetrics>& history() const { return history_; }
+  const incentive::BudgetTracker& budget() const { return budget_; }
+  const EventLog& events() const { return events_; }
+
+  /// Summary of the current state (usable mid-campaign too).
+  CampaignMetrics summary() const;
+
+  /// Publish rewards for the upcoming round exactly as step() would and
+  /// return the selection instance each user (indexed by id) would face —
+  /// without performing the round. Used for paired selector comparisons
+  /// (Fig. 5): different solvers can be evaluated on identical instances.
+  /// For intra-round mechanisms this reflects the round-start prices.
+  std::vector<select::SelectionInstance> peek_instances();
+
+ private:
+  model::World world_;
+  std::unique_ptr<incentive::IncentiveMechanism> mechanism_;
+  std::unique_ptr<select::TaskSelector> selector_;
+  SimulatorParams params_;
+  std::unique_ptr<MobilityModel> mobility_;
+  Rng mobility_rng_;
+  incentive::BudgetTracker budget_;
+  EventLog events_;
+  Round next_round_ = 1;
+  std::vector<RoundMetrics> history_;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,65 @@
+#include "sim/trace_analysis.h"
+
+#include "common/error.h"
+
+namespace mcs::sim {
+
+std::vector<TaskTimeline> task_timelines(const model::World& world,
+                                         const EventLog& log) {
+  std::vector<TaskTimeline> out(world.num_tasks());
+  std::vector<int> required(world.num_tasks());
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    out[i].task = static_cast<TaskId>(i);
+    required[i] = world.tasks()[i].required();
+  }
+  for (const SensingEvent& e : log.events()) {
+    MCS_CHECK(e.task >= 0 &&
+                  static_cast<std::size_t>(e.task) < world.num_tasks(),
+              "trace references unknown task");
+    TaskTimeline& t = out[static_cast<std::size_t>(e.task)];
+    if (t.first_measurement == 0) t.first_measurement = e.round;
+    ++t.measurements;
+    t.total_paid += e.reward;
+    if (t.completed_round == 0 &&
+        t.measurements >= required[static_cast<std::size_t>(e.task)]) {
+      t.completed_round = e.round;
+    }
+  }
+  return out;
+}
+
+TraceSummary summarize_trace(const model::World& world, const EventLog& log) {
+  TraceSummary s;
+  const auto timelines = task_timelines(world, log);
+  double cov_sum = 0.0;
+  int covered = 0;
+  double compl_sum = 0.0;
+  int completed = 0;
+  for (const TaskTimeline& t : timelines) {
+    if (t.first_measurement > 0) {
+      cov_sum += t.first_measurement;
+      ++covered;
+    } else {
+      ++s.tasks_never_covered;
+    }
+    if (t.completed_round > 0) {
+      compl_sum += t.completed_round;
+      ++completed;
+    } else {
+      ++s.tasks_never_completed;
+    }
+  }
+  if (covered > 0) s.mean_rounds_to_coverage = cov_sum / covered;
+  if (completed > 0) s.mean_rounds_to_completion = compl_sum / completed;
+
+  for (const SensingEvent& e : log.events()) {
+    s.total_distance += e.leg_distance;
+  }
+  if (!log.events().empty()) {
+    s.mean_leg_distance =
+        s.total_distance / static_cast<double>(log.events().size());
+  }
+  return s;
+}
+
+}  // namespace mcs::sim

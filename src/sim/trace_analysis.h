@@ -1,0 +1,38 @@
+// Post-hoc analysis of a campaign's event trace: when was each task first
+// covered, when did it complete, how far did users walk per measurement —
+// the temporal quantities Figs. 6-8 aggregate, per task.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/world.h"
+#include "sim/event_log.h"
+
+namespace mcs::sim {
+
+struct TaskTimeline {
+  TaskId task = kInvalidTask;
+  Round first_measurement = 0;   // 0 = never covered
+  Round completed_round = 0;     // 0 = never completed
+  int measurements = 0;
+  Money total_paid = 0.0;
+};
+
+/// One timeline per task, in task-id order. `required` is read from the
+/// world; events supply the chronology.
+std::vector<TaskTimeline> task_timelines(const model::World& world,
+                                         const EventLog& log);
+
+struct TraceSummary {
+  double mean_rounds_to_coverage = 0.0;    // over covered tasks
+  double mean_rounds_to_completion = 0.0;  // over completed tasks
+  int tasks_never_covered = 0;
+  int tasks_never_completed = 0;
+  double mean_leg_distance = 0.0;          // meters walked per measurement
+  double total_distance = 0.0;
+};
+
+TraceSummary summarize_trace(const model::World& world, const EventLog& log);
+
+}  // namespace mcs::sim

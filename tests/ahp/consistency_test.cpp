@@ -1,0 +1,65 @@
+#include "ahp/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "ahp/weights.h"
+#include "common/error.h"
+
+namespace mcs::ahp {
+namespace {
+
+TEST(Consistency, RandomIndexTable) {
+  EXPECT_DOUBLE_EQ(random_index(1), 0.0);
+  EXPECT_DOUBLE_EQ(random_index(2), 0.0);
+  EXPECT_DOUBLE_EQ(random_index(3), 0.58);
+  EXPECT_DOUBLE_EQ(random_index(4), 0.90);
+  EXPECT_DOUBLE_EQ(random_index(9), 1.45);
+  EXPECT_DOUBLE_EQ(random_index(15), 1.59);
+  EXPECT_DOUBLE_EQ(random_index(50), 1.59);  // clamps to the last entry
+  EXPECT_THROW(random_index(0), Error);
+}
+
+TEST(Consistency, IndexFormula) {
+  EXPECT_DOUBLE_EQ(consistency_index(3.0, 3), 0.0);
+  EXPECT_NEAR(consistency_index(3.2, 3), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(consistency_index(5.0, 2), 0.0);  // n<=2 always consistent
+}
+
+TEST(Consistency, RatioFormula) {
+  EXPECT_NEAR(consistency_ratio(3.2, 3), 0.1 / 0.58, 1e-12);
+  EXPECT_DOUBLE_EQ(consistency_ratio(9.9, 2), 0.0);
+}
+
+TEST(Consistency, PerfectlyConsistentMatrixHasZeroCr) {
+  const auto m = consistent_matrix_from_weights({5.0, 2.0, 1.0});
+  const ConsistencyReport r = check_consistency(m);
+  EXPECT_NEAR(r.lambda_max, 3.0, 1e-9);
+  EXPECT_NEAR(r.ci, 0.0, 1e-9);
+  EXPECT_NEAR(r.cr, 0.0, 1e-9);
+  EXPECT_TRUE(r.acceptable);
+}
+
+TEST(Consistency, PaperTableIIsAcceptable) {
+  const auto m = ComparisonMatrix::from_upper_triangle(3, {3.0, 5.0, 2.0});
+  const ConsistencyReport r = check_consistency(m);
+  EXPECT_GT(r.cr, 0.0);
+  EXPECT_LT(r.cr, 0.1);
+  EXPECT_TRUE(r.acceptable);
+}
+
+TEST(Consistency, WildlyInconsistentMatrixIsRejected) {
+  // 0>1 strongly, 1>2 strongly, but 2>0 strongly: a preference cycle.
+  const auto m = ComparisonMatrix::from_upper_triangle(3, {9.0, 1.0 / 9.0, 9.0});
+  const ConsistencyReport r = check_consistency(m);
+  EXPECT_GT(r.cr, 0.1);
+  EXPECT_FALSE(r.acceptable);
+}
+
+TEST(Consistency, ThresholdIsConfigurable) {
+  const auto m = ComparisonMatrix::from_upper_triangle(3, {3.0, 5.0, 2.0});
+  const ConsistencyReport strict = check_consistency(m, /*threshold=*/1e-6);
+  EXPECT_FALSE(strict.acceptable);
+}
+
+}  // namespace
+}  // namespace mcs::ahp

@@ -1,0 +1,85 @@
+#include "ahp/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mcs::ahp {
+namespace {
+
+Hierarchy paper_hierarchy() {
+  return Hierarchy(
+      "task demand", {"deadline", "progress", "neighbors"},
+      ComparisonMatrix::from_upper_triangle(3, {3.0, 5.0, 2.0}));
+}
+
+TEST(Hierarchy, CriteriaWeightsMatchPaper) {
+  const Hierarchy h = paper_hierarchy();
+  EXPECT_EQ(h.goal(), "task demand");
+  EXPECT_EQ(h.num_criteria(), 3u);
+  EXPECT_NEAR(h.criteria_weights()[0], 0.648, 0.001);
+  EXPECT_NEAR(h.criteria_weights()[1], 0.230, 0.001);
+  EXPECT_NEAR(h.criteria_weights()[2], 0.122, 0.001);
+}
+
+TEST(Hierarchy, SynthesizeFromScoreVectors) {
+  const Hierarchy h = paper_hierarchy();
+  // Two alternatives; alternative 0 dominates every criterion.
+  const std::vector<std::vector<double>> scores{
+      {0.9, 0.1}, {0.8, 0.2}, {0.7, 0.3}};
+  const auto p = h.synthesize(scores);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_GT(p[0], p[1]);
+  const auto& w = h.criteria_weights();
+  EXPECT_NEAR(p[0], w[0] * 0.9 + w[1] * 0.8 + w[2] * 0.7, 1e-12);
+}
+
+TEST(Hierarchy, SynthesisIsLinearInWeights) {
+  const Hierarchy h = paper_hierarchy();
+  // If all criteria give identical scores the synthesis returns them.
+  const std::vector<std::vector<double>> scores{
+      {0.4, 0.6}, {0.4, 0.6}, {0.4, 0.6}};
+  const auto p = h.synthesize(scores);
+  EXPECT_NEAR(p[0], 0.4, 1e-12);
+  EXPECT_NEAR(p[1], 0.6, 1e-12);
+}
+
+TEST(Hierarchy, ClassicalAlternativeMatrices) {
+  Hierarchy h("choose", {"c1", "c2"},
+              ComparisonMatrix::from_upper_triangle(2, {1.0}));
+  // Under c1 alternative 0 wins 3:1, under c2 alternative 1 wins 3:1;
+  // with equal criteria weights the synthesis is symmetric.
+  h.set_alternative_matrix(0, ComparisonMatrix::from_upper_triangle(2, {3.0}));
+  h.set_alternative_matrix(1,
+                           ComparisonMatrix::from_upper_triangle(2, {1.0 / 3}));
+  const auto p = h.synthesize_from_matrices();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+  EXPECT_NEAR(p[1], 0.5, 1e-9);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Hierarchy, MixedMatrixAndScores) {
+  Hierarchy h("mixed", {"c1", "c2"},
+              ComparisonMatrix::from_upper_triangle(2, {1.0}));
+  h.set_alternative_matrix(0, ComparisonMatrix::from_upper_triangle(2, {3.0}));
+  // c2 supplies raw scores; c1's row is ignored (matrix takes precedence).
+  const auto p = h.synthesize({{0.0, 0.0}, {0.25, 0.75}});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 0.5 * 0.75 + 0.5 * 0.25, 1e-9);
+  EXPECT_NEAR(p[1], 0.5 * 0.25 + 0.5 * 0.75, 1e-9);
+}
+
+TEST(Hierarchy, Validation) {
+  EXPECT_THROW(Hierarchy("g", {"a", "b"}, ComparisonMatrix(3)), Error);
+  Hierarchy h = paper_hierarchy();
+  EXPECT_THROW(h.set_alternative_matrix(7, ComparisonMatrix(2)), Error);
+  EXPECT_THROW(h.synthesize({{0.1}}), Error);           // wrong criteria count
+  EXPECT_THROW(h.synthesize({{0.1}, {0.1}, {0.1, 0.2}}), Error);  // ragged
+  EXPECT_THROW(h.synthesize_from_matrices(), Error);    // no matrices attached
+}
+
+}  // namespace
+}  // namespace mcs::ahp

@@ -1,0 +1,68 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+TEST(CsvWriter, BasicOutput) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  w.add_row({"x", "y"});
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, NumericRows) {
+  CsvWriter w({"v"});
+  w.add_numeric_row(std::vector<double>{1.23456}, 2);
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str(), "v\n1.23\n");
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), Error);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"id", "value"});
+  t.add_row({"1", "short"});
+  t.add_row({"100", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find(" id | value"), std::string::npos);
+  EXPECT_NE(s.find("  1 | short"), std::string::npos);
+  EXPECT_NE(s.find("100 |     x"), std::string::npos);
+  EXPECT_NE(s.find("---+------"), std::string::npos);
+}
+
+TEST(TextTable, NumericRows) {
+  TextTable t({"v"});
+  t.add_numeric_row(std::vector<double>{2.5}, 1);
+  EXPECT_NE(t.to_string().find("2.5"), std::string::npos);
+}
+
+TEST(TextTable, WidthMismatchThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}
+
+}  // namespace
+}  // namespace mcs

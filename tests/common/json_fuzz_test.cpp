@@ -1,0 +1,83 @@
+// Randomized JSON round-trip: generate random documents, dump (compact and
+// pretty), parse back, compare structurally. Exercises nesting, escapes,
+// numeric formats and empty containers far beyond the hand-written cases.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace mcs {
+namespace {
+
+Json random_json(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth <= 0 ? 3 : 5));
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng.bernoulli(0.5));
+    case 2: {
+      // Mix integers, negatives, fractions and exponents.
+      switch (rng.uniform_int(0, 3)) {
+        case 0: return Json(static_cast<int>(rng.uniform_int(-1000, 1000)));
+        case 1: return Json(rng.uniform(-1e6, 1e6));
+        case 2: return Json(rng.uniform(-1e-6, 1e-6));
+        default: return Json(static_cast<long long>(rng.uniform_int(
+            -1000000000000LL, 1000000000000LL)));
+      }
+    }
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters that need escaping.
+        const char* pool = "abcXYZ 0189\"\\\n\t/{}[]:,";
+        s += pool[rng.uniform_int(0, 22)];
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json a = Json::array();
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) a.push_back(random_json(rng, depth - 1));
+      return a;
+    }
+    default: {
+      Json o = Json::object();
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) {
+        o["k" + std::to_string(rng.uniform_int(0, 99))] =
+            random_json(rng, depth - 1);
+      }
+      return o;
+    }
+  }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzz, DumpParseRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Json doc = random_json(rng, 4);
+    const Json compact = Json::parse(doc.dump());
+    EXPECT_EQ(compact, doc) << doc.dump();
+    const Json pretty = Json::parse(doc.dump(2));
+    EXPECT_EQ(pretty, doc) << doc.dump(2);
+    // Idempotence: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(compact.dump(), doc.dump());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range(0, 6));
+
+TEST(JsonFuzz, DeeplyNestedDocument) {
+  Json j = Json(1);
+  for (int i = 0; i < 200; ++i) {
+    Json a = Json::array();
+    a.push_back(std::move(j));
+    j = std::move(a);
+  }
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,137 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+TEST(Json, ConstructionAndTypes) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+}
+
+TEST(Json, TypedAccessors) {
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(2.5).as_number(), 2.5);
+  EXPECT_EQ(Json(7).as_int(), 7);
+  EXPECT_EQ(Json("x").as_string(), "x");
+  EXPECT_THROW(Json(2.5).as_int(), Error);   // not integral
+  EXPECT_THROW(Json(1).as_string(), Error);  // type mismatch
+  EXPECT_THROW(Json("x").as_number(), Error);
+}
+
+TEST(Json, ObjectAccess) {
+  Json o = Json::object();
+  o["name"] = Json("mcs");
+  o["version"] = Json(2);
+  EXPECT_TRUE(o.has("name"));
+  EXPECT_FALSE(o.has("missing"));
+  EXPECT_EQ(o.at("name").as_string(), "mcs");
+  EXPECT_THROW(o.at("missing"), Error);
+  EXPECT_DOUBLE_EQ(o.get("version", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(o.get("absent", 9.0), 9.0);
+  EXPECT_EQ(o.get("absent", std::string("d")), "d");
+  EXPECT_TRUE(o.get("absent", true));
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(Json, ArrayAccess) {
+  Json a = Json::array();
+  a.push_back(Json(1));
+  a.push_back(Json("two"));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(0).as_int(), 1);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+  EXPECT_THROW(a.at(2), Error);
+  EXPECT_THROW(Json(1).push_back(Json(2)), Error);
+}
+
+TEST(Json, DumpCompact) {
+  Json o = Json::object();
+  o["b"] = Json(true);
+  o["a"] = Json(Json::Array{Json(1), Json(2)});
+  // Keys come out sorted (std::map) -> deterministic.
+  EXPECT_EQ(o.dump(), "{\"a\":[1,2],\"b\":true}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json().dump(), "null");
+}
+
+TEST(Json, DumpPretty) {
+  Json o = Json::object();
+  o["k"] = Json(1);
+  EXPECT_EQ(o.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(Json(5).dump(), "5");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  // Round-trips the double exactly.
+  const double v = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(Json::parse(Json(v).dump()).as_number(), v);
+}
+
+TEST(Json, StringEscaping) {
+  const std::string nasty = "a\"b\\c\nd\te\x01";
+  const Json j(nasty);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), nasty);
+}
+
+TEST(Json, ParseBasics) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse(" [1, 2, 3] ").size(), 3u);
+  const Json o = Json::parse("{\"a\": {\"b\": [true, null]}}");
+  EXPECT_TRUE(o.at("a").at("b").at(1).is_null());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);     // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("01x"), Error);
+  EXPECT_THROW(Json::parse("-"), Error);
+  EXPECT_THROW(Json::parse("1."), Error);
+  EXPECT_THROW(Json::parse("1e"), Error);
+}
+
+TEST(Json, RoundTripComplexDocument) {
+  const std::string doc =
+      "{\"tasks\":[{\"id\":0,\"loc\":{\"x\":12.5,\"y\":-3}},"
+      "{\"id\":1,\"loc\":{\"x\":0,\"y\":0}}],\"meta\":null,\"ok\":true}";
+  const Json parsed = Json::parse(doc);
+  EXPECT_EQ(Json::parse(parsed.dump()), parsed);
+  EXPECT_EQ(Json::parse(parsed.dump(2)), parsed);
+}
+
+TEST(Json, Equality) {
+  EXPECT_EQ(Json::parse("[1,2]"), Json::parse("[1, 2]"));
+  EXPECT_NE(Json::parse("[1,2]"), Json::parse("[2,1]"));
+  EXPECT_NE(Json(1), Json("1"));
+  EXPECT_EQ(Json::parse("{\"a\":1,\"b\":2}"), Json::parse("{\"b\":2,\"a\":1}"));
+}
+
+}  // namespace
+}  // namespace mcs

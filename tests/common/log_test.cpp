@@ -1,0 +1,75 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("loud"), Error);
+}
+
+TEST(Log, SuppressedBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MCS_INFO << "should not appear";
+  MCS_ERROR << "should appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST(Log, StreamsValues) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MCS_DEBUG << "x=" << 42 << " y=" << 1.5;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    MCS_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("log_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroPassesSilently) {
+  MCS_CHECK(true, "never");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mcs

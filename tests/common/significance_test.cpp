@@ -1,0 +1,128 @@
+#include "common/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mcs {
+namespace {
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-12);
+  // I_x(2,2) = x^2(3-2x).
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.25), 0.25 * 0.25 * 2.5, 1e-12);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(3.5, 1.2, 0.7),
+              1.0 - incomplete_beta(1.2, 3.5, 0.3), 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), Error);
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // df=10: t=2.228 is the 97.5% quantile -> two-sided p = 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10), 0.05, 0.001);
+  // df=1 (Cauchy): t=1 -> two-sided p = 0.5.
+  EXPECT_NEAR(student_t_two_sided_p(1.0, 1), 0.5, 1e-9);
+  // t=0 -> p=1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 5), 1.0, 1e-12);
+  // Large df behaves like the normal: t=1.96 -> p ~ 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(1.96, 100000), 0.05, 0.001);
+}
+
+TEST(WelchTTest, DetectsObviousDifference) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.normal(10.0, 1.0));
+    b.push_back(rng.normal(12.0, 1.0));
+  }
+  const TestResult r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.statistic, 0.0);  // a's mean below b's
+  EXPECT_NEAR(r.effect, -2.0, 0.7);
+}
+
+TEST(WelchTTest, NoFalsePositiveOnSameDistribution) {
+  Rng rng(2);
+  int rejections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.push_back(rng.normal(5.0, 2.0));
+      b.push_back(rng.normal(5.0, 2.0));
+    }
+    if (welch_t_test(a, b).p_value < 0.05) ++rejections;
+  }
+  // Expect ~5% rejections; allow generous slack.
+  EXPECT_LT(rejections, trials / 5);
+}
+
+TEST(WelchTTest, ConstantSamples) {
+  const std::vector<double> same{3, 3, 3};
+  EXPECT_DOUBLE_EQ(welch_t_test(same, same).p_value, 1.0);
+  const std::vector<double> other{4, 4, 4};
+  EXPECT_DOUBLE_EQ(welch_t_test(same, other).p_value, 0.0);
+  EXPECT_THROW(welch_t_test({1.0}, same), Error);
+}
+
+TEST(WelchTTest, UnequalVariancesHandled) {
+  Rng rng(3);
+  std::vector<double> tight, wide;
+  for (int i = 0; i < 25; ++i) {
+    tight.push_back(rng.normal(0.0, 0.1));
+    wide.push_back(rng.normal(0.0, 10.0));
+  }
+  const TestResult r = welch_t_test(tight, wide);
+  EXPECT_GT(r.p_value, 0.01);  // same mean: should not reject strongly
+}
+
+TEST(MannWhitney, DetectsShift) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.exponential(1.0));        // mean 1
+    b.push_back(rng.exponential(1.0) + 2.0);  // shifted by 2
+  }
+  const TestResult r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.effect, -0.5);  // strong rank-biserial effect toward b
+}
+
+TEST(MannWhitney, SymmetricUnderSwap) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  const TestResult ab = mann_whitney_u(a, b);
+  const TestResult ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.effect, -ba.effect, 1e-12);
+}
+
+TEST(MannWhitney, AllTied) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 1, 1, 1};
+  const TestResult r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_NEAR(r.effect, 0.0, 1e-12);
+}
+
+TEST(MannWhitney, RobustToOutliersWhereTTestIsNot) {
+  // Identical medians, but one wild outlier in b drags its mean far away:
+  // the U test should stay calm.
+  std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> b{1, 2, 3, 4, 5, 6, 7, 8, 9, 10000.0};
+  const TestResult u = mann_whitney_u(a, b);
+  EXPECT_GT(u.p_value, 0.3);
+}
+
+}  // namespace
+}  // namespace mcs

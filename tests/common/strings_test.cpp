@@ -1,0 +1,97 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ToLower, Basics) {
+  EXPECT_EQ(to_lower("AbC-1"), "abc-1");
+}
+
+TEST(ParseDouble, ValidValues) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double(" -1e3 "), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("12abc"), Error);
+  EXPECT_THROW(parse_double(""), Error);
+  EXPECT_THROW(parse_double("  "), Error);
+  EXPECT_THROW(parse_double("1.2.3"), Error);
+}
+
+TEST(ParseInt, ValidValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_THROW(parse_int("4.2"), Error);
+  EXPECT_THROW(parse_int("x"), Error);
+  EXPECT_THROW(parse_int(""), Error);
+}
+
+TEST(ParseBool, AcceptedSpellings) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("Yes"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("ON"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("no"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("off"));
+}
+
+TEST(ParseBool, RejectsGarbage) {
+  EXPECT_THROW(parse_bool("maybe"), Error);
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,46 @@
+#include "geo/bbox.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::geo {
+namespace {
+
+TEST(BoundingBox, SquareFactory) {
+  const auto b = BoundingBox::square(3000.0);
+  EXPECT_DOUBLE_EQ(b.width(), 3000.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3000.0);
+  EXPECT_DOUBLE_EQ(b.area(), 9.0e6);
+  EXPECT_THROW(BoundingBox::square(0.0), Error);
+  EXPECT_THROW(BoundingBox::square(-1.0), Error);
+}
+
+TEST(BoundingBox, Contains) {
+  const BoundingBox b({0, 0}, {10, 10});
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_TRUE(b.contains({10, 10}));
+  EXPECT_FALSE(b.contains({-0.1, 5}));
+  EXPECT_FALSE(b.contains({5, 10.1}));
+}
+
+TEST(BoundingBox, Clamp) {
+  const BoundingBox b({0, 0}, {10, 10});
+  EXPECT_EQ(b.clamp({-5, 3}), (Point{0, 3}));
+  EXPECT_EQ(b.clamp({20, 30}), (Point{10, 10}));
+  EXPECT_EQ(b.clamp({4, 4}), (Point{4, 4}));
+}
+
+TEST(BoundingBox, Diameter) {
+  const BoundingBox b({0, 0}, {3, 4});
+  EXPECT_DOUBLE_EQ(b.diameter(), 5.0);
+}
+
+TEST(BoundingBox, InvertedCornersThrow) {
+  EXPECT_THROW(BoundingBox({1, 0}, {0, 1}), Error);
+  EXPECT_THROW(BoundingBox({0, 1}, {1, 0}), Error);
+}
+
+}  // namespace
+}  // namespace mcs::geo

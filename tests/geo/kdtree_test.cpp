@@ -1,0 +1,101 @@
+#include "geo/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geo/distance.h"
+
+namespace mcs::geo {
+namespace {
+
+TEST(KdTree, EmptyTree) {
+  const KdTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.count_radius({0, 0}, 10.0), 0u);
+  EXPECT_TRUE(t.query_radius({0, 0}, 10.0).empty());
+  EXPECT_TRUE(t.nearest({0, 0}, 3).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree t(std::vector<KdTree::Item>{{7, {5, 5}}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.count_radius({5, 5}, 0.0), 1u);
+  EXPECT_EQ(t.nearest({0, 0}), (std::vector<std::int32_t>{7}));
+}
+
+TEST(KdTree, RadiusBoundaryInclusive) {
+  const KdTree t(std::vector<KdTree::Item>{{1, {0, 0}}});
+  EXPECT_EQ(t.count_radius({3, 4}, 5.0), 1u);
+  EXPECT_EQ(t.count_radius({3, 4}, 4.999), 0u);
+}
+
+TEST(KdTree, NearestOrdering) {
+  const KdTree t({{0, {0, 0}}, {1, {10, 0}}, {2, {20, 0}}, {3, {30, 0}}});
+  EXPECT_EQ(t.nearest({11, 0}, 3),
+            (std::vector<std::int32_t>{1, 2, 0}));
+  // k larger than the tree returns everything, closest first.
+  EXPECT_EQ(t.nearest({-1, 0}, 10),
+            (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_THROW(t.nearest({0, 0}, 0), Error);
+}
+
+TEST(KdTree, DuplicatePointsAllReturned) {
+  const KdTree t({{1, {5, 5}}, {2, {5, 5}}, {3, {5, 5}}});
+  EXPECT_EQ(t.count_radius({5, 5}, 0.0), 3u);
+  EXPECT_EQ(t.nearest({5, 5}, 3).size(), 3u);
+}
+
+// Property sweep against brute force, for uniform and clustered data.
+class KdTreeProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(KdTreeProperty, MatchesBruteForce) {
+  const bool clustered = GetParam();
+  Rng rng(clustered ? 101 : 102);
+  std::vector<KdTree::Item> items;
+  for (int i = 0; i < 400; ++i) {
+    Point p;
+    if (clustered && i % 2 == 0) {
+      p = {500.0 + rng.normal(0.0, 30.0), 500.0 + rng.normal(0.0, 30.0)};
+    } else {
+      p = {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    }
+    items.push_back({i, p});
+  }
+  const KdTree tree(items);
+  ASSERT_EQ(tree.size(), 400u);
+
+  for (int q = 0; q < 50; ++q) {
+    const Point center{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const double radius = rng.uniform(0.0, 300.0);
+
+    std::vector<std::int32_t> brute;
+    for (const auto& it : items) {
+      if (euclidean(center, it.p) <= radius) brute.push_back(it.id);
+    }
+    auto got = tree.query_radius(center, radius);
+    std::sort(got.begin(), got.end());
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(got, brute);
+    EXPECT_EQ(tree.count_radius(center, radius), brute.size());
+
+    // k-NN vs brute force (distances, to be robust to ties).
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    std::vector<double> all_d;
+    for (const auto& it : items) all_d.push_back(euclidean(center, it.p));
+    std::sort(all_d.begin(), all_d.end());
+    const auto knn = tree.nearest(center, k);
+    ASSERT_EQ(knn.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Point p = items[static_cast<std::size_t>(knn[i])].p;
+      EXPECT_NEAR(euclidean(center, p), all_d[i], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, KdTreeProperty, ::testing::Bool());
+
+}  // namespace
+}  // namespace mcs::geo

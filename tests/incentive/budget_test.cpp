@@ -1,0 +1,55 @@
+#include "incentive/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+namespace {
+
+TEST(BudgetTracker, StrictAccounting) {
+  BudgetTracker b(100.0);
+  EXPECT_DOUBLE_EQ(b.total(), 100.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 100.0);
+  b.pay(30.0);
+  b.pay(70.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 100.0);
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+  EXPECT_DOUBLE_EQ(b.overdraft(), 0.0);
+}
+
+TEST(BudgetTracker, StrictRejectsOverdraft) {
+  BudgetTracker b(100.0);
+  b.pay(99.0);
+  EXPECT_FALSE(b.can_afford(2.0));
+  EXPECT_THROW(b.pay(2.0), Error);
+  EXPECT_DOUBLE_EQ(b.spent(), 99.0);  // failed payment not recorded
+}
+
+TEST(BudgetTracker, SoftModeRecordsOverdraft) {
+  BudgetTracker b(100.0, /*strict=*/false);
+  b.pay(80.0);
+  b.pay(30.0);  // would throw in strict mode
+  EXPECT_DOUBLE_EQ(b.spent(), 110.0);
+  EXPECT_DOUBLE_EQ(b.overdraft(), 10.0);
+}
+
+TEST(BudgetTracker, FloatingPointToleranceAtBoundary) {
+  BudgetTracker b(0.3);
+  b.pay(0.1);
+  b.pay(0.1);
+  EXPECT_NO_THROW(b.pay(0.1));  // 3*0.1 == 0.30000000000000004
+}
+
+TEST(BudgetTracker, NegativePaymentRejected) {
+  BudgetTracker b(10.0, /*strict=*/false);
+  EXPECT_THROW(b.pay(-1.0), Error);
+}
+
+TEST(BudgetTracker, NonPositiveBudgetRejected) {
+  EXPECT_THROW(BudgetTracker(0.0), Error);
+  EXPECT_THROW(BudgetTracker(-5.0), Error);
+}
+
+}  // namespace
+}  // namespace mcs::incentive

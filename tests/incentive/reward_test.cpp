@@ -1,0 +1,95 @@
+#include "incentive/reward.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::incentive {
+namespace {
+
+TEST(RewardRule, Eq7Linear) {
+  const RewardRule r(0.5, 0.5, 5);
+  EXPECT_DOUBLE_EQ(r.reward(1), 0.5);
+  EXPECT_DOUBLE_EQ(r.reward(2), 1.0);
+  EXPECT_DOUBLE_EQ(r.reward(3), 1.5);
+  EXPECT_DOUBLE_EQ(r.reward(4), 2.0);
+  EXPECT_DOUBLE_EQ(r.reward(5), 2.5);
+  EXPECT_DOUBLE_EQ(r.min_reward(), 0.5);
+  EXPECT_DOUBLE_EQ(r.max_reward(), 2.5);
+}
+
+TEST(RewardRule, Eq9PaperInstantiation) {
+  // B=$1000, 20 tasks x 20 measurements, lambda=0.5, N=5 -> r0=$0.5 (§VI).
+  const RewardRule r = RewardRule::from_budget(1000.0, 400, 0.5, 5);
+  EXPECT_DOUBLE_EQ(r.r0(), 0.5);
+  EXPECT_DOUBLE_EQ(r.lambda(), 0.5);
+  EXPECT_EQ(r.levels(), 5);
+}
+
+TEST(RewardRule, Eq8WorstCaseNeverExceedsBudget) {
+  for (const double budget : {500.0, 1000.0, 5000.0}) {
+    for (const long long total : {100LL, 400LL, 999LL}) {
+      for (const double lambda : {0.1, 0.5}) {
+        for (const int levels : {2, 5, 8}) {
+          const double r0 =
+              budget / static_cast<double>(total) - lambda * (levels - 1);
+          if (r0 <= 0.0) continue;  // Eq. 9 infeasible at this combination
+          const RewardRule r =
+              RewardRule::from_budget(budget, total, lambda, levels);
+          EXPECT_LE(r.worst_case_payout(total), budget + 1e-9);
+          // And the bound is tight: Eq. 9 is an equality.
+          EXPECT_NEAR(r.worst_case_payout(total), budget, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(RewardRule, BudgetTooSmallThrows) {
+  // r0 would be 1000/400 - 10*(5-1) < 0.
+  EXPECT_THROW(RewardRule::from_budget(1000.0, 400, 10.0, 5), Error);
+  EXPECT_THROW(RewardRule::from_budget(0.0, 400, 0.5, 5), Error);
+  EXPECT_THROW(RewardRule::from_budget(1000.0, 0, 0.5, 5), Error);
+}
+
+TEST(RewardRule, LevelRangeChecked) {
+  const RewardRule r(1.0, 0.5, 5);
+  EXPECT_THROW(r.reward(0), Error);
+  EXPECT_THROW(r.reward(6), Error);
+}
+
+TEST(RewardRule, ZeroLambdaIsFlat) {
+  const RewardRule r(2.0, 0.0, 5);
+  EXPECT_DOUBLE_EQ(r.reward(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.reward(5), 2.0);
+}
+
+TEST(RewardRule, ConstructionValidation) {
+  EXPECT_THROW(RewardRule(0.0, 0.5, 5), Error);
+  EXPECT_THROW(RewardRule(-1.0, 0.5, 5), Error);
+  EXPECT_THROW(RewardRule(1.0, -0.5, 5), Error);
+  EXPECT_THROW(RewardRule(1.0, 0.5, 0), Error);
+}
+
+// Property: rewards are monotone in the level and bounded by
+// [r0, r0 + lambda*(N-1)].
+class RewardRuleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewardRuleProperty, MonotoneAndBounded) {
+  const int levels = GetParam();
+  const RewardRule r = RewardRule::from_budget(2000.0, 500, 0.25, levels);
+  double prev = 0.0;
+  for (int lvl = 1; lvl <= levels; ++lvl) {
+    const double reward = r.reward(lvl);
+    EXPECT_GT(reward, prev);
+    EXPECT_GE(reward, r.min_reward());
+    EXPECT_LE(reward, r.max_reward());
+    prev = reward;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelCounts, RewardRuleProperty,
+                         ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace mcs::incentive

@@ -1,0 +1,137 @@
+// Randomized configuration fuzzing: draw many small-but-weird scenario and
+// mechanism configurations, run whole campaigns, and assert the global
+// invariants. Complements campaign_test.cpp (which pins the paper-scale
+// setup) by exploring corners: one user, one task, tiny/huge budgets,
+// instant deadlines, heterogeneous phi, every mobility model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/runner.h"
+#include "sim/fairness.h"
+
+namespace mcs {
+namespace {
+
+exp::ExperimentConfig random_config(Rng& rng) {
+  exp::ExperimentConfig cfg;
+  cfg.scenario.area_side = rng.uniform(200.0, 5000.0);
+  cfg.scenario.num_tasks = static_cast<int>(rng.uniform_int(1, 12));
+  cfg.scenario.num_users = static_cast<int>(rng.uniform_int(1, 40));
+  cfg.scenario.required_measurements = static_cast<int>(rng.uniform_int(1, 8));
+  cfg.scenario.required_spread = static_cast<int>(rng.uniform_int(0, 3));
+  cfg.scenario.deadline_min = static_cast<Round>(rng.uniform_int(1, 4));
+  cfg.scenario.deadline_max =
+      cfg.scenario.deadline_min + static_cast<Round>(rng.uniform_int(0, 8));
+  cfg.scenario.user_budget_min_s = rng.uniform(0.0, 400.0);
+  cfg.scenario.user_budget_max_s =
+      cfg.scenario.user_budget_min_s + rng.uniform(0.0, 800.0);
+  cfg.scenario.neighbor_radius = rng.uniform(0.0, 1000.0);
+  cfg.scenario.cost_per_meter = rng.uniform(0.0, 0.01);
+
+  // Budget must satisfy Eq. 9: keep r0 > 0 by construction.
+  cfg.mech_params.demand_levels = static_cast<int>(rng.uniform_int(1, 6));
+  cfg.mech_params.lambda = rng.uniform(0.0, 0.6);
+  const double total_required_upper =
+      static_cast<double>(cfg.scenario.num_tasks) *
+      (cfg.scenario.required_measurements + cfg.scenario.required_spread);
+  cfg.mech_params.platform_budget =
+      total_required_upper *
+      (cfg.mech_params.lambda * (cfg.mech_params.demand_levels - 1) +
+       rng.uniform(0.1, 3.0));
+
+  const incentive::MechanismKind kinds[] = {
+      incentive::MechanismKind::kOnDemand, incentive::MechanismKind::kFixed,
+      incentive::MechanismKind::kSteered,
+      incentive::MechanismKind::kParticipation};
+  cfg.mechanism = kinds[rng.uniform_int(0, 3)];
+  const select::SelectorKind selectors[] = {
+      select::SelectorKind::kGreedy, select::SelectorKind::kDp,
+      select::SelectorKind::kBeamSearch, select::SelectorKind::kGreedy2Opt};
+  cfg.selector = selectors[rng.uniform_int(0, 3)];
+  const sim::MobilityKind mobilities[] = {
+      sim::MobilityKind::kStaticHome, sim::MobilityKind::kRandomWaypoint,
+      sim::MobilityKind::kGaussianDrift, sim::MobilityKind::kCommute};
+  cfg.mobility = mobilities[rng.uniform_int(0, 3)];
+  cfg.max_rounds = static_cast<Round>(rng.uniform_int(1, 12));
+  cfg.repetitions = 1;
+  return cfg;
+}
+
+class FuzzInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzInvariants, CampaignsNeverBreakInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const exp::ExperimentConfig cfg = random_config(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed-group " << GetParam() << " trial " << trial
+                 << " mech=" << incentive::mechanism_name(cfg.mechanism)
+                 << " sel=" << select::selector_name(cfg.selector)
+                 << " mob=" << sim::mobility_name(cfg.mobility)
+                 << " tasks=" << cfg.scenario.num_tasks
+                 << " users=" << cfg.scenario.num_users);
+
+    const exp::RepetitionResult r = run_repetition(cfg, rng.next());
+    const sim::CampaignMetrics& m = r.campaign;
+
+    // Percentages in range.
+    for (const double pct :
+         {m.coverage_pct, m.completeness_pct, m.tasks_completed_pct}) {
+      EXPECT_GE(pct, 0.0);
+      EXPECT_LE(pct, 100.0 + 1e-9);
+    }
+    // Counting sanity.
+    EXPECT_GE(m.total_measurements, 0);
+    EXPECT_LE(m.total_measurements,
+              static_cast<long long>(cfg.scenario.num_tasks) *
+                  cfg.scenario.num_users);
+    EXPECT_EQ(m.per_task_received.size(),
+              static_cast<std::size_t>(cfg.scenario.num_tasks));
+    long long sum = 0;
+    for (const int c : m.per_task_received) {
+      EXPECT_GE(c, 0);
+      EXPECT_LE(c, cfg.scenario.num_users);
+      sum += c;
+    }
+    EXPECT_EQ(sum, m.total_measurements);
+    // Money sanity.
+    EXPECT_GE(m.total_paid, 0.0);
+    if (m.total_measurements == 0) {
+      EXPECT_DOUBLE_EQ(m.total_paid, 0.0);
+      EXPECT_DOUBLE_EQ(m.avg_reward_per_measurement, 0.0);
+    } else {
+      EXPECT_NEAR(m.avg_reward_per_measurement,
+                  m.total_paid / static_cast<double>(m.total_measurements),
+                  1e-9);
+    }
+    // Demand-level mechanisms respect the budget (steered is uncoupled).
+    if (cfg.mechanism != incentive::MechanismKind::kSteered) {
+      EXPECT_LE(m.total_paid,
+                cfg.mech_params.platform_budget + m.budget_overdraft + 1e-6);
+    }
+    // Fairness metrics in range.
+    EXPECT_GE(m.reward_gini, 0.0);
+    EXPECT_LE(m.reward_gini, 1.0);
+    EXPECT_GT(m.reward_jain, 0.0);
+    EXPECT_LE(m.reward_jain, 1.0 + 1e-12);
+    EXPECT_GE(m.active_user_fraction, 0.0);
+    EXPECT_LE(m.active_user_fraction, 1.0);
+    // Round history is coherent.
+    long long cumulative = 0;
+    for (const sim::RoundMetrics& rm : r.rounds) {
+      EXPECT_GE(rm.new_measurements, 0);
+      cumulative += rm.new_measurements;
+      EXPECT_EQ(rm.total_measurements, cumulative);
+      EXPECT_GE(rm.payout, -1e-9);
+      EXPECT_GE(rm.open_tasks, 0);
+      EXPECT_LE(rm.open_tasks, cfg.scenario.num_tasks);
+    }
+    EXPECT_EQ(cumulative, m.total_measurements);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGroups, FuzzInvariants, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,140 @@
+// Paper-level behavioural properties (the qualitative claims of §VI),
+// verified on reduced but non-trivial configurations so the suite stays
+// fast. Absolute numbers are scenario-dependent; these tests pin the
+// *relations* the paper reports.
+#include <gtest/gtest.h>
+
+#include "exp/figures.h"
+#include "exp/runner.h"
+
+namespace mcs::exp {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;           // paper defaults: 20 tasks x 20 measurements
+  cfg.repetitions = 5;
+  cfg.selector = select::SelectorKind::kGreedy;  // fast; relations also hold for DP
+  cfg.seed = 7;
+  return cfg;
+}
+
+AggregateResult run_with(incentive::MechanismKind kind, int users) {
+  ExperimentConfig cfg = base_config();
+  cfg.mechanism = kind;
+  cfg.scenario.num_users = users;
+  return run_experiment(cfg);
+}
+
+TEST(PaperProperties, OnDemandCoverageIsFullAndBeatsFixed) {
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 80);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 80);
+  // Fig. 6: on-demand achieves (near-)100% coverage and dominates fixed.
+  EXPECT_GT(on_demand.coverage.mean(), 99.0);
+  EXPECT_GE(on_demand.coverage.mean(), fixed.coverage.mean());
+}
+
+TEST(PaperProperties, SteeredCoverageAlsoFull) {
+  const auto steered = run_with(incentive::MechanismKind::kSteered, 80);
+  EXPECT_GT(steered.coverage.mean(), 99.0);
+}
+
+TEST(PaperProperties, CompletenessOrderingOnDemandFixedSteered) {
+  // Fig. 7: on-demand > fixed > steered in overall completeness.
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 100);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 100);
+  const auto steered = run_with(incentive::MechanismKind::kSteered, 100);
+  EXPECT_GT(on_demand.completeness.mean(), fixed.completeness.mean());
+  EXPECT_GT(fixed.completeness.mean(), steered.completeness.mean());
+}
+
+TEST(PaperProperties, CompletenessIncreasesWithUsers) {
+  // Fig. 7(a): more users -> higher completeness, for every mechanism.
+  for (const auto kind : all_mechanisms()) {
+    const auto few = run_with(kind, 40);
+    const auto many = run_with(kind, 140);
+    EXPECT_GT(many.completeness.mean(), few.completeness.mean())
+        << incentive::mechanism_name(kind);
+  }
+}
+
+TEST(PaperProperties, AvgMeasurementsOrderingAndGrowth) {
+  // Fig. 8(a): on-demand collects the most measurements per task and the
+  // count grows with the user population.
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 100);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 100);
+  const auto steered = run_with(incentive::MechanismKind::kSteered, 100);
+  EXPECT_GT(on_demand.avg_measurements.mean(), fixed.avg_measurements.mean());
+  EXPECT_GT(fixed.avg_measurements.mean(), steered.avg_measurements.mean());
+}
+
+TEST(PaperProperties, FixedAndSteeredRunDryButOnDemandPersists) {
+  // Fig. 8(b): with a static population, fixed and steered stop collecting
+  // after the first few rounds; on-demand keeps eliciting measurements.
+  auto late_activity = [](const AggregateResult& r) {
+    double total = 0.0;
+    for (std::size_t k = 5; k < r.round_new_measurements.size(); ++k) {
+      total += r.round_new_measurements[k].mean();
+    }
+    return total;
+  };
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 100);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 100);
+  const auto steered = run_with(incentive::MechanismKind::kSteered, 100);
+  EXPECT_GT(late_activity(on_demand), 5.0);
+  EXPECT_LT(late_activity(fixed), 1.0);
+  EXPECT_LT(late_activity(steered), 1.0);
+}
+
+TEST(PaperProperties, OnDemandBalancesParticipation) {
+  // Fig. 9(a): on-demand's per-task measurement variance is far below
+  // fixed's (better balance of participation).
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 100);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 100);
+  EXPECT_LT(on_demand.measurement_variance.mean(),
+            0.5 * fixed.measurement_variance.mean());
+}
+
+TEST(PaperProperties, OnDemandPaysLessPerMeasurementThanFixed) {
+  // Fig. 9(b): the platform's welfare proxy — on-demand pays less per
+  // measurement than the fixed mechanism.
+  const auto on_demand = run_with(incentive::MechanismKind::kOnDemand, 100);
+  const auto fixed = run_with(incentive::MechanismKind::kFixed, 100);
+  EXPECT_LT(on_demand.reward_per_measurement.mean(),
+            fixed.reward_per_measurement.mean());
+}
+
+TEST(PaperProperties, OnDemandRewardPerMeasurementDecreasesWithUsers) {
+  // Fig. 9(b): more users -> lower demand -> cheaper measurements.
+  const auto few = run_with(incentive::MechanismKind::kOnDemand, 40);
+  const auto many = run_with(incentive::MechanismKind::kOnDemand, 140);
+  EXPECT_LT(many.reward_per_measurement.mean(),
+            few.reward_per_measurement.mean());
+}
+
+TEST(PaperProperties, BudgetRespectedByDemandLevelMechanisms) {
+  // Eq. 8: on-demand and fixed payouts never exceed the $1000 budget.
+  for (const auto kind :
+       {incentive::MechanismKind::kOnDemand, incentive::MechanismKind::kFixed}) {
+    const auto r = run_with(kind, 140);
+    EXPECT_LE(r.total_paid.max(), 1000.0 + 1e-6)
+        << incentive::mechanism_name(kind);
+    EXPECT_DOUBLE_EQ(r.overdraft.max(), 0.0);
+  }
+}
+
+TEST(PaperProperties, DpBeatsGreedyOnAverage) {
+  // Fig. 5(a): the optimal selector earns users more profit.
+  ExperimentConfig cfg = base_config();
+  cfg.scenario.user_budget_min_s = 900.0;
+  cfg.scenario.user_budget_max_s = 1800.0;
+  cfg.repetitions = 3;
+  for (const int users : {40, 100}) {
+    cfg.scenario.num_users = users;
+    const DpVsGreedyResult r = run_dp_vs_greedy(cfg, 2);
+    EXPECT_GE(r.dp_profit.mean(), r.greedy_profit.mean());
+    for (const double d : r.differences) EXPECT_GE(d, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -1,0 +1,187 @@
+// Experiment-harness behaviour: determinism, aggregation arithmetic,
+// padding of early-terminating campaigns, and the paired DP/greedy
+// comparison.
+#include <gtest/gtest.h>
+
+#include "exp/figures.h"
+#include "exp/runner.h"
+
+namespace mcs::exp {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.num_users = 40;
+  cfg.scenario.num_tasks = 10;
+  cfg.scenario.required_measurements = 8;
+  cfg.repetitions = 3;
+  cfg.max_rounds = 10;
+  cfg.selector = select::SelectorKind::kGreedy;
+  return cfg;
+}
+
+TEST(Runner, RepetitionIsDeterministicInSeed) {
+  const ExperimentConfig cfg = quick_config();
+  const RepetitionResult a = run_repetition(cfg, 123);
+  const RepetitionResult b = run_repetition(cfg, 123);
+  EXPECT_EQ(a.campaign.total_measurements, b.campaign.total_measurements);
+  EXPECT_DOUBLE_EQ(a.campaign.total_paid, b.campaign.total_paid);
+  EXPECT_EQ(a.campaign.per_task_received, b.campaign.per_task_received);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t k = 0; k < a.rounds.size(); ++k) {
+    EXPECT_EQ(a.rounds[k].new_measurements, b.rounds[k].new_measurements);
+  }
+  const RepetitionResult c = run_repetition(cfg, 124);
+  EXPECT_NE(a.campaign.total_measurements, c.campaign.total_measurements);
+}
+
+TEST(Runner, AggregateCountsRepetitions) {
+  const ExperimentConfig cfg = quick_config();
+  const AggregateResult agg = run_experiment(cfg);
+  EXPECT_EQ(agg.coverage.count(), 3u);
+  EXPECT_EQ(agg.completeness.count(), 3u);
+  ASSERT_EQ(agg.round_new_measurements.size(), 10u);
+  for (const auto& rs : agg.round_new_measurements) {
+    EXPECT_EQ(rs.count(), 3u);  // padded to max_rounds for every rep
+  }
+}
+
+TEST(Runner, AggregateIsReproducible) {
+  const ExperimentConfig cfg = quick_config();
+  const AggregateResult a = run_experiment(cfg);
+  const AggregateResult b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.coverage.mean(), b.coverage.mean());
+  EXPECT_DOUBLE_EQ(a.reward_per_measurement.mean(),
+                   b.reward_per_measurement.mean());
+}
+
+TEST(Runner, PaddingCarriesFinalCoverageForward) {
+  // A generous scenario finishes early; the padded rounds must then hold
+  // coverage constant and contribute zero new measurements.
+  ExperimentConfig cfg = quick_config();
+  cfg.scenario.num_users = 120;
+  cfg.scenario.user_budget_min_s = 2000.0;
+  cfg.scenario.user_budget_max_s = 3000.0;
+  cfg.repetitions = 1;
+  const RepetitionResult rep = run_repetition(cfg, 5);
+  ASSERT_LT(rep.rounds.size(), 10u) << "scenario unexpectedly ran long";
+  const AggregateResult agg = run_experiment(cfg);
+  const double final_cov = rep.rounds.back().coverage_pct;
+  for (std::size_t k = rep.rounds.size(); k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(agg.round_coverage[k].mean(), final_cov);
+    EXPECT_DOUBLE_EQ(agg.round_new_measurements[k].mean(), 0.0);
+  }
+}
+
+TEST(Runner, DpVsGreedyPairedDominance) {
+  ExperimentConfig cfg = quick_config();
+  cfg.scenario.user_budget_min_s = 900.0;
+  cfg.scenario.user_budget_max_s = 1800.0;
+  const DpVsGreedyResult r = run_dp_vs_greedy(cfg, /*at_round=*/2);
+  EXPECT_EQ(r.dp_profit.count(), 3u * 40u);
+  ASSERT_EQ(r.differences.size(), 3u * 40u);
+  // Paired on identical instances: DP can never lose to greedy.
+  for (const double d : r.differences) EXPECT_GE(d, -1e-9);
+  EXPECT_GE(r.dp_profit.mean(), r.greedy_profit.mean());
+}
+
+TEST(Runner, CustomMechanismFactoryIsUsed) {
+  // run_experiment_with must feed every repetition through the factory; a
+  // factory returning the fixed mechanism must reproduce run_experiment
+  // with cfg.mechanism = kFixed exactly (same seeds, same draws).
+  ExperimentConfig cfg = quick_config();
+  cfg.mechanism = incentive::MechanismKind::kFixed;
+  const AggregateResult direct = run_experiment(cfg);
+  const MechanismFactory factory =
+      [&cfg](const model::World& world,
+             Rng& rng) -> std::unique_ptr<incentive::IncentiveMechanism> {
+    return incentive::make_mechanism(incentive::MechanismKind::kFixed, world,
+                                     cfg.mech_params, rng);
+  };
+  const AggregateResult via_factory = run_experiment_with(cfg, factory);
+  EXPECT_DOUBLE_EQ(direct.completeness.mean(), via_factory.completeness.mean());
+  EXPECT_DOUBLE_EQ(direct.total_paid.mean(), via_factory.total_paid.mean());
+}
+
+TEST(Runner, FairnessAggregatesPopulated) {
+  const ExperimentConfig cfg = quick_config();
+  const AggregateResult agg = run_experiment(cfg);
+  EXPECT_EQ(agg.reward_gini.count(), 3u);
+  EXPECT_GE(agg.reward_gini.mean(), 0.0);
+  EXPECT_LE(agg.reward_gini.mean(), 1.0);
+  EXPECT_GT(agg.active_fraction.mean(), 0.0);
+  EXPECT_EQ(agg.round_mean_reward.size(), 10u);
+}
+
+TEST(Runner, DpVsGreedyRoundValidation) {
+  const ExperimentConfig cfg = quick_config();
+  EXPECT_THROW(run_dp_vs_greedy(cfg, 0), Error);
+  EXPECT_THROW(run_dp_vs_greedy(cfg, 99), Error);
+}
+
+TEST(Figures, ConfigRoundTrip) {
+  const char* argv[] = {"prog",
+                        "--users=77",
+                        "--tasks=11",
+                        "--budget=500",
+                        "--lambda=0.25",
+                        "--levels=4",
+                        "--selector=greedy",
+                        "--mechanism=steered",
+                        "--reps=9",
+                        "--rounds=12",
+                        "--seed=99",
+                        "--radius=750",
+                        "--dp-cap=10"};
+  const Config c = Config::from_args(13, argv);
+  const ExperimentConfig e = experiment_from_config(c);
+  EXPECT_EQ(e.scenario.num_users, 77);
+  EXPECT_EQ(e.scenario.num_tasks, 11);
+  EXPECT_DOUBLE_EQ(e.mech_params.platform_budget, 500.0);
+  EXPECT_DOUBLE_EQ(e.mech_params.lambda, 0.25);
+  EXPECT_EQ(e.mech_params.demand_levels, 4);
+  EXPECT_EQ(e.selector, select::SelectorKind::kGreedy);
+  EXPECT_EQ(e.mechanism, incentive::MechanismKind::kSteered);
+  EXPECT_EQ(e.repetitions, 9);
+  EXPECT_EQ(e.max_rounds, 12);
+  EXPECT_EQ(e.seed, 99u);
+  EXPECT_DOUBLE_EQ(e.scenario.neighbor_radius, 750.0);
+  EXPECT_EQ(e.dp_candidate_cap, 10);
+  EXPECT_TRUE(c.unconsumed_keys().empty());
+}
+
+TEST(Figures, UserCountsDefaultAndOverride) {
+  const char* none[] = {"prog"};
+  EXPECT_EQ(user_counts_from_config(Config::from_args(1, none)),
+            (std::vector<int>{40, 60, 80, 100, 120, 140}));
+  const char* custom[] = {"prog", "--users-from=10", "--users-to=30",
+                          "--users-step=10"};
+  EXPECT_EQ(user_counts_from_config(Config::from_args(4, custom)),
+            (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Figures, UserSweepTableShape) {
+  ExperimentConfig cfg = quick_config();
+  cfg.repetitions = 1;
+  UserSweep sweep(cfg, {20, 40}, all_mechanisms());
+  sweep.run();
+  const TextTable t =
+      sweep.table([](const AggregateResult& r) { return r.coverage.mean(); });
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("on-demand"), std::string::npos);
+  EXPECT_NE(s.find("fixed"), std::string::npos);
+  EXPECT_NE(s.find("steered"), std::string::npos);
+  EXPECT_NE(s.find("20"), std::string::npos);
+  EXPECT_NE(s.find("40"), std::string::npos);
+}
+
+TEST(Figures, SweepResultAccessorGuards) {
+  ExperimentConfig cfg = quick_config();
+  UserSweep sweep(cfg, {20}, all_mechanisms());
+  EXPECT_THROW(sweep.result(0, 0), Error);  // run() not called yet
+  RoundSeries series(cfg, all_mechanisms());
+  EXPECT_THROW(series.result(0), Error);
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -1,0 +1,99 @@
+#include "model/task.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::model {
+namespace {
+
+TEST(Task, ConstructionAndAccessors) {
+  const Task t(3, {100.0, 200.0}, 10, 20);
+  EXPECT_EQ(t.id(), 3);
+  EXPECT_EQ(t.location(), (geo::Point{100.0, 200.0}));
+  EXPECT_EQ(t.deadline(), 10);
+  EXPECT_EQ(t.required(), 20);
+  EXPECT_EQ(t.received(), 0);
+  EXPECT_DOUBLE_EQ(t.progress(), 0.0);
+  EXPECT_FALSE(t.completed());
+}
+
+TEST(Task, ConstructionValidation) {
+  EXPECT_THROW(Task(-1, {0, 0}, 5, 1), Error);
+  EXPECT_THROW(Task(0, {0, 0}, 0, 1), Error);
+  EXPECT_THROW(Task(0, {0, 0}, 5, 0), Error);
+}
+
+TEST(Task, ProgressTracksMeasurements) {
+  Task t(0, {0, 0}, 10, 4);
+  t.add_measurement(1, 1, 0.5);
+  EXPECT_DOUBLE_EQ(t.progress(), 0.25);
+  t.add_measurement(2, 1, 0.5);
+  t.add_measurement(3, 2, 1.0);
+  EXPECT_EQ(t.received(), 3);
+  EXPECT_DOUBLE_EQ(t.progress(), 0.75);
+  EXPECT_FALSE(t.completed());
+  t.add_measurement(4, 2, 1.0);
+  EXPECT_TRUE(t.completed());
+  EXPECT_DOUBLE_EQ(t.progress(), 1.0);
+}
+
+TEST(Task, DistinctUserRule) {
+  Task t(0, {0, 0}, 10, 5);
+  t.add_measurement(7, 1, 0.5);
+  EXPECT_TRUE(t.has_contributed(7));
+  EXPECT_FALSE(t.has_contributed(8));
+  EXPECT_THROW(t.add_measurement(7, 2, 0.5), Error);
+  EXPECT_EQ(t.received(), 1);
+}
+
+TEST(Task, DeadlineEnforcement) {
+  Task t(0, {0, 0}, 3, 5);
+  EXPECT_FALSE(t.expired_at(3));  // the deadline round itself is playable
+  EXPECT_TRUE(t.expired_at(4));
+  t.add_measurement(1, 3, 0.5);
+  EXPECT_THROW(t.add_measurement(2, 4, 0.5), Error);
+}
+
+TEST(Task, AcceptsPredicate) {
+  Task t(0, {0, 0}, 3, 2);
+  EXPECT_TRUE(t.accepts(1, 1));
+  t.add_measurement(1, 1, 0.5);
+  EXPECT_FALSE(t.accepts(1, 2));  // same user
+  EXPECT_TRUE(t.accepts(2, 2));
+  t.add_measurement(2, 2, 0.5);
+  EXPECT_FALSE(t.accepts(3, 3));  // completed
+  const Task fresh(1, {0, 0}, 3, 2);
+  EXPECT_FALSE(fresh.accepts(1, 4));  // expired
+}
+
+TEST(Task, OverflowWithinRoundIsAccepted) {
+  // Users committing within the completing round are still paid (see
+  // task.h); the progress is capped at 1 but received() reflects reality.
+  Task t(0, {0, 0}, 10, 2);
+  t.add_measurement(1, 1, 0.5);
+  t.add_measurement(2, 1, 0.5);
+  EXPECT_TRUE(t.completed());
+  EXPECT_NO_THROW(t.add_measurement(3, 1, 0.5));
+  EXPECT_EQ(t.received(), 3);
+  EXPECT_DOUBLE_EQ(t.progress(), 1.0);
+}
+
+TEST(Task, PaymentBookkeeping) {
+  Task t(0, {0, 0}, 10, 5);
+  t.add_measurement(1, 1, 0.5);
+  t.add_measurement(2, 2, 1.5);
+  EXPECT_DOUBLE_EQ(t.total_paid(), 2.0);
+  ASSERT_EQ(t.measurements().size(), 2u);
+  EXPECT_EQ(t.measurements()[0].user, 1);
+  EXPECT_EQ(t.measurements()[0].round, 1);
+  EXPECT_DOUBLE_EQ(t.measurements()[1].reward_paid, 1.5);
+}
+
+TEST(Task, RejectsInvalidUser) {
+  Task t(0, {0, 0}, 10, 5);
+  EXPECT_THROW(t.add_measurement(-1, 1, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace mcs::model

@@ -1,0 +1,60 @@
+#include "model/user.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::model {
+namespace {
+
+TEST(User, ConstructionAndAccessors) {
+  const User u(2, {10.0, 20.0}, 600.0);
+  EXPECT_EQ(u.id(), 2);
+  EXPECT_EQ(u.home(), (geo::Point{10.0, 20.0}));
+  EXPECT_EQ(u.location(), u.home());  // starts at home
+  EXPECT_DOUBLE_EQ(u.time_budget(), 600.0);
+  EXPECT_EQ(u.tasks_contributed(), 0u);
+}
+
+TEST(User, ConstructionValidation) {
+  EXPECT_THROW(User(-1, {0, 0}, 10.0), Error);
+  EXPECT_THROW(User(0, {0, 0}, -1.0), Error);
+}
+
+TEST(User, LocationAndHome) {
+  User u(0, {5, 5}, 100.0);
+  u.set_location({50, 60});
+  EXPECT_EQ(u.location(), (geo::Point{50, 60}));
+  u.return_home();
+  EXPECT_EQ(u.location(), (geo::Point{5, 5}));
+}
+
+TEST(User, ContributionTracking) {
+  User u(0, {0, 0}, 100.0);
+  EXPECT_FALSE(u.has_contributed(3));
+  u.mark_contributed(3);
+  EXPECT_TRUE(u.has_contributed(3));
+  u.mark_contributed(3);  // idempotent
+  EXPECT_EQ(u.tasks_contributed(), 1u);
+  u.mark_contributed(5);
+  EXPECT_EQ(u.tasks_contributed(), 2u);
+}
+
+TEST(User, EarningsAccumulate) {
+  User u(0, {0, 0}, 100.0);
+  u.add_earnings(2.5, 1.0);
+  u.add_earnings(1.0, 0.25);
+  EXPECT_DOUBLE_EQ(u.total_reward(), 3.5);
+  EXPECT_DOUBLE_EQ(u.total_cost(), 1.25);
+  EXPECT_DOUBLE_EQ(u.total_profit(), 2.25);
+}
+
+TEST(User, TimeBudgetUpdate) {
+  User u(0, {0, 0}, 100.0);
+  u.set_time_budget(250.0);
+  EXPECT_DOUBLE_EQ(u.time_budget(), 250.0);
+  EXPECT_THROW(u.set_time_budget(-5.0), Error);
+}
+
+}  // namespace
+}  // namespace mcs::model

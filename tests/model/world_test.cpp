@@ -1,0 +1,89 @@
+#include "model/world.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::model {
+namespace {
+
+World make_world(Meters radius = 500.0) {
+  return World(geo::BoundingBox::square(3000.0), geo::TravelModel{}, radius);
+}
+
+TEST(World, AddTasksAndUsersAssignsSequentialIds) {
+  World w = make_world();
+  EXPECT_EQ(w.add_task({100, 100}, 10, 20), 0);
+  EXPECT_EQ(w.add_task({200, 200}, 5, 10), 1);
+  EXPECT_EQ(w.add_user({0, 0}, 600.0), 0);
+  EXPECT_EQ(w.add_user({1, 1}, 600.0), 1);
+  EXPECT_EQ(w.num_tasks(), 2u);
+  EXPECT_EQ(w.num_users(), 2u);
+  EXPECT_EQ(w.task(1).deadline(), 5);
+  EXPECT_EQ(w.user(1).home(), (geo::Point{1, 1}));
+}
+
+TEST(World, IdRangeChecks) {
+  World w = make_world();
+  w.add_task({0, 0}, 5, 1);
+  EXPECT_THROW(w.task(1), Error);
+  EXPECT_THROW(w.task(-1), Error);
+  EXPECT_THROW(w.user(0), Error);
+}
+
+TEST(World, NeighborCountsWithinRadius) {
+  World w = make_world(500.0);
+  w.add_task({1000, 1000}, 10, 5);   // task 0
+  w.add_task({2500, 2500}, 10, 5);   // task 1, far corner
+  w.add_user({1200, 1000}, 600.0);   // 200 m from task 0
+  w.add_user({1000, 1499}, 600.0);   // 499 m from task 0
+  w.add_user({1000, 1501}, 600.0);   // 501 m from task 0 -> outside
+  w.add_user({2500, 2400}, 600.0);   // 100 m from task 1
+  const auto counts = w.neighbor_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+}
+
+TEST(World, NeighborCountsUseCurrentLocations) {
+  World w = make_world(500.0);
+  w.add_task({1000, 1000}, 10, 5);
+  w.add_user({2900, 2900}, 600.0);
+  EXPECT_EQ(w.neighbor_counts()[0], 0);
+  w.user(0).set_location({1010, 1000});
+  EXPECT_EQ(w.neighbor_counts()[0], 1);
+}
+
+TEST(World, ZeroRadiusCountsOnlyColocated) {
+  World w = make_world(0.0);
+  w.add_task({100, 100}, 10, 5);
+  w.add_user({100, 100}, 600.0);
+  w.add_user({100.5, 100}, 600.0);
+  EXPECT_EQ(w.neighbor_counts()[0], 1);
+}
+
+TEST(World, Totals) {
+  World w = make_world();
+  w.add_task({0, 0}, 10, 20);
+  w.add_task({1, 1}, 10, 15);
+  w.add_user({0, 0}, 600.0);
+  w.add_user({0, 0}, 600.0);
+  EXPECT_EQ(w.total_required(), 35);
+  EXPECT_EQ(w.total_received(), 0);
+  w.task(0).add_measurement(0, 1, 1.5);
+  w.task(0).add_measurement(1, 1, 2.0);
+  w.task(1).add_measurement(0, 1, 0.5);
+  EXPECT_EQ(w.total_received(), 3);
+  EXPECT_DOUBLE_EQ(w.total_paid(), 4.0);
+}
+
+TEST(World, ConstructionValidation) {
+  EXPECT_THROW(
+      World(geo::BoundingBox::square(10.0), geo::TravelModel{}, -1.0), Error);
+  geo::TravelModel bad;
+  bad.speed_mps = 0.0;
+  EXPECT_THROW(World(geo::BoundingBox::square(10.0), bad, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace mcs::model

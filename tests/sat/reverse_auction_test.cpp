@@ -1,0 +1,84 @@
+#include "sat/reverse_auction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::sat {
+namespace {
+
+TEST(ReverseAuction, LowestBidsWinUniformSecondPrice) {
+  const auto awards = run_reverse_auction(
+      {{0, 1.0}, {1, 0.5}, {2, 2.0}, {3, 1.5}}, /*slots=*/2, /*reserve=*/5.0);
+  ASSERT_EQ(awards.size(), 2u);
+  EXPECT_EQ(awards[0].user, 1);
+  EXPECT_EQ(awards[1].user, 0);
+  // Clearing price = first rejected bid = 1.5, paid to every winner.
+  EXPECT_DOUBLE_EQ(awards[0].payment, 1.5);
+  EXPECT_DOUBLE_EQ(awards[1].payment, 1.5);
+}
+
+TEST(ReverseAuction, UncontestedPaysReserve) {
+  const auto awards =
+      run_reverse_auction({{0, 1.0}, {1, 2.0}}, /*slots=*/3, /*reserve=*/4.0);
+  ASSERT_EQ(awards.size(), 2u);
+  EXPECT_DOUBLE_EQ(awards[0].payment, 4.0);
+  EXPECT_DOUBLE_EQ(awards[1].payment, 4.0);
+}
+
+TEST(ReverseAuction, ReserveFiltersBids) {
+  const auto awards =
+      run_reverse_auction({{0, 10.0}, {1, 1.0}}, /*slots=*/2, /*reserve=*/5.0);
+  ASSERT_EQ(awards.size(), 1u);
+  EXPECT_EQ(awards[0].user, 1);
+  EXPECT_DOUBLE_EQ(awards[0].payment, 5.0);  // uncontested after filtering
+}
+
+TEST(ReverseAuction, EmptyAndNoEligibleBids) {
+  EXPECT_TRUE(run_reverse_auction({}, 2, 1.0).empty());
+  EXPECT_TRUE(run_reverse_auction({{0, 3.0}}, 2, 1.0).empty());
+}
+
+TEST(ReverseAuction, PaymentNeverBelowBid) {
+  // Individual rationality: winners are paid >= their own bid.
+  const auto awards = run_reverse_auction(
+      {{0, 0.2}, {1, 0.4}, {2, 0.9}, {3, 1.4}}, /*slots=*/3, /*reserve=*/2.0);
+  ASSERT_EQ(awards.size(), 3u);
+  for (const auto& a : awards) EXPECT_GE(a.payment, 0.9);
+  EXPECT_DOUBLE_EQ(awards[0].payment, 1.4);
+}
+
+TEST(ReverseAuction, DeterministicTieBreakByUserId) {
+  const auto awards = run_reverse_auction(
+      {{5, 1.0}, {2, 1.0}, {9, 1.0}}, /*slots=*/2, /*reserve=*/3.0);
+  ASSERT_EQ(awards.size(), 2u);
+  EXPECT_EQ(awards[0].user, 2);
+  EXPECT_EQ(awards[1].user, 5);
+  EXPECT_DOUBLE_EQ(awards[0].payment, 1.0);  // first rejected bid ties at 1.0
+}
+
+TEST(ReverseAuction, Validation) {
+  EXPECT_THROW(run_reverse_auction({{0, 1.0}}, 0, 1.0), Error);
+  EXPECT_THROW(run_reverse_auction({{0, -1.0}}, 1, 1.0), Error);
+  EXPECT_THROW(run_reverse_auction({{-1, 1.0}}, 1, 1.0), Error);
+  EXPECT_THROW(run_reverse_auction({{0, 1.0}}, 1, -1.0), Error);
+}
+
+TEST(ReverseAuction, TruthfulnessSpotCheck) {
+  // Misreporting cannot help: with true cost 1.0 and others at {0.5, 1.5},
+  // slots=1: truthful loses to 0.5 (utility 0). Underbidding to 0.4 wins at
+  // price 0.5 -> utility 0.5 - 1.0 < 0. Overbidding still loses. So
+  // truthful reporting is (weakly) optimal here.
+  const auto truthful = run_reverse_auction(
+      {{0, 1.0}, {1, 0.5}, {2, 1.5}}, 1, 10.0);
+  ASSERT_EQ(truthful.size(), 1u);
+  EXPECT_EQ(truthful[0].user, 1);
+  const auto shaded = run_reverse_auction(
+      {{0, 0.4}, {1, 0.5}, {2, 1.5}}, 1, 10.0);
+  ASSERT_EQ(shaded.size(), 1u);
+  EXPECT_EQ(shaded[0].user, 0);
+  EXPECT_DOUBLE_EQ(shaded[0].payment, 0.5);  // paid below true cost: a loss
+}
+
+}  // namespace
+}  // namespace mcs::sat

@@ -1,0 +1,105 @@
+#include "select/greedy_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "select/dp_selector.h"
+
+namespace mcs::select {
+namespace {
+
+SelectionInstance basic(double budget_s = 600.0) {
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};
+  inst.time_budget = budget_s;
+  return inst;
+}
+
+TEST(GreedySelector, EmptyInstance) {
+  EXPECT_TRUE(GreedySelector().select(basic()).empty());
+}
+
+TEST(GreedySelector, TakesBestMarginalFirst) {
+  auto inst = basic();
+  inst.candidates = {{0, {400, 0}, 1.0},   // marginal 0.2
+                     {1, {100, 0}, 1.0}};  // marginal 0.8 -> picked first
+  const Selection s = GreedySelector().select(inst);
+  ASSERT_EQ(s.order.size(), 2u);
+  EXPECT_EQ(s.order[0], 1);
+  EXPECT_EQ(s.order[1], 0);
+}
+
+TEST(GreedySelector, StopsWhenNoPositiveMarginal) {
+  auto inst = basic();
+  inst.candidates = {{0, {100, 0}, 1.0},
+                     {1, {2000, 0}, 1.0}};  // marginal from task 0: negative
+  const Selection s = GreedySelector().select(inst);
+  EXPECT_EQ(s.order, (std::vector<TaskId>{0}));
+}
+
+TEST(GreedySelector, RespectsBudgetEvenForProfitableTasks) {
+  auto inst = basic(100.0);  // 200 m
+  inst.candidates = {{0, {90, 0}, 1.0}, {1, {180, 0}, 1.0}, {2, {270, 0}, 1.0}};
+  const Selection s = GreedySelector().select(inst);
+  // 0 (90m) then 1 (+90m = 180m) fit; 2 would need 270m total.
+  EXPECT_EQ(s.order, (std::vector<TaskId>{0, 1}));
+  EXPECT_TRUE(is_feasible(inst, s));
+}
+
+TEST(GreedySelector, MyopiaCanLoseToDp) {
+  // Greedy grabs the near cheap task first and then pays a long detour;
+  // DP routes optimally. This is the known counterexample family.
+  auto inst = basic(2000.0);
+  inst.travel.cost_per_meter = 0.004;
+  inst.candidates = {{0, {100, 0}, 1.0},      // tempting first grab
+                     {1, {0, 800}, 2.5},
+                     {2, {0, 1000}, 2.5}};
+  const Selection greedy = GreedySelector().select(inst);
+  const Selection dp = DpSelector().select(inst);
+  EXPECT_GE(dp.profit(), greedy.profit());
+}
+
+TEST(GreedySelector, NeverNegativeProfitAndAlwaysFeasible) {
+  Rng rng(55);
+  const GreedySelector greedy;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto inst = basic(rng.uniform(0.0, 1200.0));
+    const int m = static_cast<int>(rng.uniform_int(0, 15));
+    for (int i = 0; i < m; ++i) {
+      inst.candidates.push_back(
+          {i, {rng.uniform(0, 3000), rng.uniform(0, 3000)}, rng.uniform(0.5, 2.5)});
+    }
+    const Selection s = greedy.select(inst);
+    EXPECT_GE(s.profit(), 0.0);
+    EXPECT_TRUE(is_feasible(inst, s));
+    const Selection replay = evaluate_order(inst, s.order);
+    EXPECT_NEAR(replay.profit(), s.profit(), 1e-9);
+  }
+}
+
+TEST(GreedySelector, TwoOptVariantNeverWorse) {
+  Rng rng(56);
+  const GreedySelector plain(false);
+  const GreedySelector improved(true);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto inst = basic(rng.uniform(300.0, 2000.0));
+    const int m = static_cast<int>(rng.uniform_int(3, 12));
+    for (int i = 0; i < m; ++i) {
+      inst.candidates.push_back(
+          {i, {rng.uniform(0, 2000), rng.uniform(0, 2000)}, rng.uniform(0.5, 2.5)});
+    }
+    const Selection a = plain.select(inst);
+    const Selection b = improved.select(inst);
+    EXPECT_GE(b.profit(), a.profit() - 1e-9);
+    EXPECT_TRUE(is_feasible(inst, b));
+  }
+}
+
+TEST(GreedySelector, Names) {
+  EXPECT_STREQ(GreedySelector(false).name(), "greedy");
+  EXPECT_STREQ(GreedySelector(true).name(), "greedy+2opt");
+}
+
+}  // namespace
+}  // namespace mcs::select

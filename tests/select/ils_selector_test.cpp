@@ -1,0 +1,97 @@
+#include "select/ils_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "select/dp_selector.h"
+#include "select/greedy_selector.h"
+
+namespace mcs::select {
+namespace {
+
+SelectionInstance random_instance(Rng& rng, int m, double budget_s) {
+  SelectionInstance inst;
+  inst.start = {rng.uniform(0, 2000), rng.uniform(0, 2000)};
+  inst.travel = {};
+  inst.time_budget = budget_s;
+  for (int i = 0; i < m; ++i) {
+    inst.candidates.push_back(
+        {i, {rng.uniform(0, 2000), rng.uniform(0, 2000)}, rng.uniform(0.5, 2.5)});
+  }
+  return inst;
+}
+
+TEST(IlsSelector, EmptyInstanceAndValidation) {
+  EXPECT_TRUE(IlsSelector().select({}).empty());
+  EXPECT_THROW(IlsSelector(-1), Error);
+  EXPECT_NO_THROW(IlsSelector(0));
+}
+
+TEST(IlsSelector, NeverWorseThanGreedy) {
+  Rng rng(71);
+  const IlsSelector ils(30, 5);
+  const GreedySelector greedy;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = random_instance(
+        rng, static_cast<int>(rng.uniform_int(1, 25)), rng.uniform(200, 1800));
+    const double ils_profit = ils.select(inst).profit();
+    const double greedy_profit = greedy.select(inst).profit();
+    EXPECT_GE(ils_profit, greedy_profit - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(IlsSelector, FeasibleAndConsistent) {
+  Rng rng(72);
+  const IlsSelector ils(20, 9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = random_instance(
+        rng, static_cast<int>(rng.uniform_int(0, 30)), rng.uniform(0, 1500));
+    const Selection s = ils.select(inst);
+    EXPECT_TRUE(is_feasible(inst, s));
+    EXPECT_GE(s.profit(), 0.0);
+    const Selection replay = evaluate_order(inst, s.order);
+    EXPECT_NEAR(replay.profit(), s.profit(), 1e-9);
+  }
+}
+
+TEST(IlsSelector, NearOptimalOnSmallInstances) {
+  // On DP-solvable sizes, ILS should close most of the greedy-optimal gap.
+  Rng rng(73);
+  const IlsSelector ils(80, 3);
+  const DpSelector dp;
+  const GreedySelector greedy;
+  double opt_total = 0.0, ils_total = 0.0, greedy_total = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = random_instance(rng, 11, 1200.0);
+    opt_total += dp.select(inst).profit();
+    ils_total += ils.select(inst).profit();
+    greedy_total += greedy.select(inst).profit();
+  }
+  EXPECT_LE(ils_total, opt_total + 1e-9);
+  EXPECT_GE(ils_total, greedy_total);
+  // A drop-and-reinsert ILS with 2-opt closes a meaningful share of the
+  // greedy-to-optimal gap in aggregate (measured ~40% on this workload;
+  // assert a conservative floor so the test flags regressions, not noise).
+  EXPECT_GE(ils_total - greedy_total, 0.3 * (opt_total - greedy_total) - 1e-9);
+}
+
+TEST(IlsSelector, DeterministicForFixedSeed) {
+  Rng rng(74);
+  const auto inst = random_instance(rng, 18, 1500.0);
+  const IlsSelector a(25, 42);
+  const IlsSelector b(25, 42);
+  EXPECT_EQ(a.select(inst).order, b.select(inst).order);
+}
+
+TEST(IlsSelector, HandlesLargeInstances) {
+  Rng rng(75);
+  const auto inst = random_instance(rng, 200, 2400.0);
+  const IlsSelector ils(10, 7);
+  const Selection s = ils.select(inst);
+  EXPECT_TRUE(is_feasible(inst, s));
+  EXPECT_GT(s.profit(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcs::select

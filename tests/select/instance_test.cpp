@@ -1,0 +1,74 @@
+#include "select/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::select {
+namespace {
+
+SelectionInstance line_instance() {
+  // Start at origin; three tasks on the x axis at 100, 200, 300 meters.
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};  // 2 m/s, 0.002 $/m
+  inst.time_budget = 600.0;
+  inst.candidates = {{0, {100, 0}, 1.0}, {1, {200, 0}, 1.5}, {2, {300, 0}, 2.0}};
+  return inst;
+}
+
+TEST(SelectionInstance, DistanceBudget) {
+  const auto inst = line_instance();
+  EXPECT_DOUBLE_EQ(inst.distance_budget(), 1200.0);
+}
+
+TEST(Selection, ProfitArithmetic) {
+  Selection s;
+  s.reward = 3.0;
+  s.cost = 1.2;
+  EXPECT_DOUBLE_EQ(s.profit(), 1.8);
+  EXPECT_TRUE(s.empty());
+  s.order.push_back(0);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(EvaluateOrder, WalksInOrder) {
+  const auto inst = line_instance();
+  const Selection s = evaluate_order(inst, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(s.distance, 300.0);
+  EXPECT_DOUBLE_EQ(s.reward, 4.5);
+  EXPECT_DOUBLE_EQ(s.cost, 0.6);
+  EXPECT_DOUBLE_EQ(s.profit(), 3.9);
+}
+
+TEST(EvaluateOrder, OrderMatters) {
+  const auto inst = line_instance();
+  const Selection bad = evaluate_order(inst, {2, 0, 1});
+  EXPECT_DOUBLE_EQ(bad.distance, 300.0 + 200.0 + 100.0);
+  EXPECT_DOUBLE_EQ(bad.reward, 4.5);  // same set, same reward
+}
+
+TEST(EvaluateOrder, EmptyOrder) {
+  const auto inst = line_instance();
+  const Selection s = evaluate_order(inst, {});
+  EXPECT_DOUBLE_EQ(s.distance, 0.0);
+  EXPECT_DOUBLE_EQ(s.profit(), 0.0);
+}
+
+TEST(EvaluateOrder, RejectsUnknownAndRepeatedTasks) {
+  const auto inst = line_instance();
+  EXPECT_THROW(evaluate_order(inst, {7}), Error);
+  EXPECT_THROW(evaluate_order(inst, {0, 0}), Error);
+}
+
+TEST(IsFeasible, BudgetBoundary) {
+  const auto inst = line_instance();
+  Selection s;
+  s.distance = 1200.0;  // exactly the budget (600 s at 2 m/s)
+  EXPECT_TRUE(is_feasible(inst, s));
+  s.distance = 1200.1;
+  EXPECT_FALSE(is_feasible(inst, s));
+}
+
+}  // namespace
+}  // namespace mcs::select

@@ -1,0 +1,157 @@
+// Degenerate and adversarial geometries for every solver: collinear tasks,
+// exact duplicates, co-located start, zero rewards, all-unprofitable sets,
+// and zero-cost travel. Every solver must stay feasible, rational and (for
+// the exact ones) agree.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "select/beam_search_selector.h"
+#include "select/branch_bound_selector.h"
+#include "select/brute_force_selector.h"
+#include "select/dp_selector.h"
+#include "select/greedy_selector.h"
+#include "select/ils_selector.h"
+
+namespace mcs::select {
+namespace {
+
+std::vector<const TaskSelector*> all_solvers() {
+  static const DpSelector dp;
+  static const GreedySelector greedy;
+  static const GreedySelector greedy2(true);
+  static const BranchBoundSelector bb;
+  static const BeamSearchSelector beam;
+  static const IlsSelector ils(10, 3);
+  return {&dp, &greedy, &greedy2, &bb, &beam, &ils};
+}
+
+SelectionInstance base_instance() {
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};
+  inst.time_budget = 600.0;
+  return inst;
+}
+
+void expect_sane(const SelectionInstance& inst, const TaskSelector& solver) {
+  const Selection s = solver.select(inst);
+  EXPECT_TRUE(is_feasible(inst, s)) << solver.name();
+  EXPECT_GE(s.profit(), -1e-9) << solver.name();
+  const Selection replay = evaluate_order(inst, s.order);
+  EXPECT_NEAR(replay.profit(), s.profit(), 1e-9) << solver.name();
+}
+
+TEST(Pathological, AllTasksAtTheStartLocation) {
+  auto inst = base_instance();
+  for (int i = 0; i < 6; ++i) inst.candidates.push_back({i, {0, 0}, 1.0});
+  for (const auto* solver : all_solvers()) {
+    const Selection s = solver->select(inst);
+    // Free money: every solver must take all six.
+    EXPECT_EQ(s.order.size(), 6u) << solver->name();
+    EXPECT_NEAR(s.profit(), 6.0, 1e-9) << solver->name();
+    EXPECT_NEAR(s.distance, 0.0, 1e-9) << solver->name();
+  }
+}
+
+TEST(Pathological, ExactDuplicateTaskLocations) {
+  auto inst = base_instance();
+  inst.candidates = {{0, {100, 0}, 1.0}, {1, {100, 0}, 0.6}, {2, {100, 0}, 0.4}};
+  for (const auto* solver : all_solvers()) {
+    const Selection s = solver->select(inst);
+    // One trip, three rewards: optimal takes all (only 0.2 travel cost).
+    EXPECT_EQ(s.order.size(), 3u) << solver->name();
+    EXPECT_NEAR(s.profit(), 2.0 - 0.2, 1e-9) << solver->name();
+  }
+}
+
+TEST(Pathological, CollinearChain) {
+  auto inst = base_instance();
+  for (int i = 0; i < 8; ++i) {
+    inst.candidates.push_back({i, {100.0 * (i + 1), 0}, 0.5});
+  }
+  // Walking the line in order is optimal; budget 1200 m reaches all 8.
+  const DpSelector dp;
+  const Selection s = dp.select(inst);
+  EXPECT_EQ(s.order, (std::vector<TaskId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  for (const auto* solver : all_solvers()) expect_sane(inst, *solver);
+}
+
+TEST(Pathological, EverythingUnprofitable) {
+  auto inst = base_instance();
+  inst.travel.cost_per_meter = 1.0;  // $100+ per leg vs $1 rewards
+  for (int i = 0; i < 5; ++i) {
+    inst.candidates.push_back({i, {100.0 + i, 50.0}, 1.0});
+  }
+  for (const auto* solver : all_solvers()) {
+    EXPECT_TRUE(solver->select(inst).empty()) << solver->name();
+  }
+}
+
+TEST(Pathological, FreeTravel) {
+  auto inst = base_instance();
+  inst.travel.cost_per_meter = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    inst.candidates.push_back(
+        {i, {50.0 * (i + 1), 30.0 * (i % 3)}, 0.1 * (i + 1)});
+  }
+  // With free travel, take everything reachable within time.
+  const DpSelector dp;
+  const Selection s = dp.select(inst);
+  EXPECT_EQ(s.order.size(), 7u);
+  for (const auto* solver : all_solvers()) expect_sane(inst, *solver);
+}
+
+TEST(Pathological, ZeroRewardCandidates) {
+  auto inst = base_instance();
+  inst.candidates = {{0, {100, 0}, 0.0}, {1, {50, 0}, 1.0}};
+  for (const auto* solver : all_solvers()) {
+    const Selection s = solver->select(inst);
+    // The zero-reward task is never worth a detour (and never harmful to
+    // skip): the profit must equal taking task 1 alone.
+    EXPECT_NEAR(s.profit(), 1.0 - 0.1, 1e-9) << solver->name();
+  }
+}
+
+TEST(Pathological, SingleCandidateExactlyAtBudgetEdge) {
+  auto inst = base_instance();  // budget 600 s -> 1200 m
+  inst.candidates = {{0, {1200, 0}, 5.0}};
+  for (const auto* solver : all_solvers()) {
+    const Selection s = solver->select(inst);
+    ASSERT_EQ(s.order.size(), 1u) << solver->name();
+    EXPECT_TRUE(is_feasible(inst, s)) << solver->name();
+  }
+  // One meter beyond: infeasible for everyone.
+  inst.candidates[0].location.x = 1200.001;
+  for (const auto* solver : all_solvers()) {
+    EXPECT_TRUE(solver->select(inst).empty()) << solver->name();
+  }
+}
+
+TEST(Pathological, ExactSolversAgreeOnRandomDegenerateMixes) {
+  Rng rng(202);
+  const DpSelector dp;
+  const BranchBoundSelector bb;
+  const BruteForceSelector brute(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto inst = base_instance();
+    inst.time_budget = rng.uniform(0.0, 800.0);
+    const int m = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < m; ++i) {
+      // Mix: duplicates, collinear points, zero rewards.
+      geo::Point p;
+      switch (rng.uniform_int(0, 2)) {
+        case 0: p = {100, 100}; break;
+        case 1: p = {rng.uniform(0, 1000), 0}; break;
+        default: p = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+      }
+      const Money reward = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.1, 2.5);
+      inst.candidates.push_back({i, p, reward});
+    }
+    const double opt = brute.select(inst).profit();
+    EXPECT_NEAR(dp.select(inst).profit(), opt, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(bb.select(inst).profit(), opt, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mcs::select

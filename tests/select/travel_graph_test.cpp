@@ -1,0 +1,68 @@
+#include "select/travel_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::select {
+namespace {
+
+SelectionInstance square_instance() {
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};
+  inst.time_budget = 1000.0;
+  inst.candidates = {{10, {100, 0}, 1.0},
+                     {11, {100, 100}, 2.0},
+                     {12, {0, 100}, 0.5}};
+  return inst;
+}
+
+TEST(TravelGraph, DistancesAndRewards) {
+  const TravelGraph g(square_instance());
+  EXPECT_EQ(g.num_candidates(), 3u);
+  EXPECT_DOUBLE_EQ(g.dist(0, 1), 100.0);  // start -> candidate 0
+  EXPECT_DOUBLE_EQ(g.dist(1, 2), 100.0);
+  EXPECT_DOUBLE_EQ(g.dist(0, 2), std::sqrt(2.0) * 100.0);
+  EXPECT_DOUBLE_EQ(g.dist(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(g.reward(0), 0.0);  // start has no reward
+  EXPECT_DOUBLE_EQ(g.reward(1), 1.0);
+  EXPECT_DOUBLE_EQ(g.reward(2), 2.0);
+}
+
+TEST(TravelGraph, Symmetry) {
+  const TravelGraph g(square_instance());
+  for (std::size_t i = 0; i <= 3; ++i) {
+    for (std::size_t j = 0; j <= 3; ++j) {
+      EXPECT_DOUBLE_EQ(g.dist(i, j), g.dist(j, i));
+    }
+  }
+}
+
+TEST(TravelGraph, TaskIds) {
+  const TravelGraph g(square_instance());
+  EXPECT_EQ(g.task(1), 10);
+  EXPECT_EQ(g.task(2), 11);
+  EXPECT_EQ(g.task(3), 12);
+  EXPECT_THROW(g.task(0), Error);
+  EXPECT_THROW(g.task(4), Error);
+}
+
+TEST(TravelGraph, MinIncomingEdges) {
+  const TravelGraph g(square_instance());
+  // Candidate 0 at (100,0): closest other node is the start (100) or
+  // candidate 1 (100) -> 100.
+  EXPECT_DOUBLE_EQ(g.min_incoming(1), 100.0);
+  EXPECT_DOUBLE_EQ(g.min_incoming(2), 100.0);
+  EXPECT_DOUBLE_EQ(g.min_incoming(3), 100.0);
+}
+
+TEST(TravelGraph, EmptyInstance) {
+  SelectionInstance inst;
+  inst.start = {5, 5};
+  const TravelGraph g(inst);
+  EXPECT_EQ(g.num_candidates(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::select

@@ -1,0 +1,96 @@
+#include "select/two_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace mcs::select {
+namespace {
+
+SelectionInstance square_instance() {
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};
+  inst.time_budget = 1e9;
+  inst.candidates = {{0, {100, 0}, 1.0},
+                     {1, {100, 100}, 1.0},
+                     {2, {0, 100}, 1.0}};
+  return inst;
+}
+
+TEST(TwoOpt, UncrossesAZigzag) {
+  const auto inst = square_instance();
+  // 0 -> 2 -> 1 walks 100 + sqrt(2)*100 + 100; the improved order
+  // 0 -> 1 -> 2 walks 300.
+  const Selection zigzag = evaluate_order(inst, {0, 2, 1});
+  const Selection improved = improve_two_opt(inst, zigzag);
+  EXPECT_LT(improved.distance, zigzag.distance);
+  EXPECT_DOUBLE_EQ(improved.distance, 300.0);
+  EXPECT_EQ(improved.order, (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(TwoOpt, PreservesTaskSetAndReward) {
+  const auto inst = square_instance();
+  const Selection before = evaluate_order(inst, {2, 0, 1});
+  const Selection after = improve_two_opt(inst, before);
+  EXPECT_DOUBLE_EQ(after.reward, before.reward);
+  auto a = before.order;
+  auto b = after.order;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TwoOpt, ShortOrdersPassThrough) {
+  const auto inst = square_instance();
+  const Selection two = evaluate_order(inst, {0, 1});
+  const Selection improved = improve_two_opt(inst, two);
+  EXPECT_EQ(improved.order, two.order);
+  const Selection empty = evaluate_order(inst, {});
+  EXPECT_TRUE(improve_two_opt(inst, empty).empty());
+}
+
+TEST(TwoOpt, NeverLengthensRandomTours) {
+  Rng rng(66);
+  for (int trial = 0; trial < 60; ++trial) {
+    SelectionInstance inst;
+    inst.start = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    inst.travel = {};
+    inst.time_budget = 1e9;
+    const int m = static_cast<int>(rng.uniform_int(3, 10));
+    std::vector<TaskId> order;
+    for (int i = 0; i < m; ++i) {
+      inst.candidates.push_back(
+          {i, {rng.uniform(0, 1000), rng.uniform(0, 1000)}, 1.0});
+      order.push_back(i);
+    }
+    rng.shuffle(order);
+    const Selection before = evaluate_order(inst, order);
+    const Selection after = improve_two_opt(inst, before);
+    EXPECT_LE(after.distance, before.distance + 1e-9);
+    EXPECT_DOUBLE_EQ(after.reward, before.reward);
+  }
+}
+
+TEST(TwoOpt, ResultIsTwoOptLocalOptimum) {
+  // Re-running 2-opt on its own output must not improve further.
+  Rng rng(67);
+  SelectionInstance inst;
+  inst.start = {0, 0};
+  inst.travel = {};
+  inst.time_budget = 1e9;
+  std::vector<TaskId> order;
+  for (int i = 0; i < 8; ++i) {
+    inst.candidates.push_back(
+        {i, {rng.uniform(0, 500), rng.uniform(0, 500)}, 1.0});
+    order.push_back(i);
+  }
+  const Selection once = improve_two_opt(inst, evaluate_order(inst, order));
+  const Selection twice = improve_two_opt(inst, once);
+  EXPECT_NEAR(twice.distance, once.distance, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcs::select

@@ -1,0 +1,93 @@
+#include "sim/ascii_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::sim {
+namespace {
+
+model::World map_world() {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 10.0);
+  w.add_task({5, 95}, 5, 4);    // top-left, untouched -> '0'
+  w.add_task({95, 95}, 5, 2);   // top-right, will complete -> '*'
+  w.add_task({5, 5}, 1, 4);     // bottom-left, will expire -> '!'
+  w.add_user({50, 50}, 100.0);  // center -> '.'
+  w.add_user({50, 50}, 100.0);  // same cell -> ','
+  return w;
+}
+
+TEST(AsciiMap, GlyphsAndOrientation) {
+  model::World w = map_world();
+  w.task(1).add_measurement(0, 1, 1.0);
+  w.task(1).add_measurement(1, 1, 1.0);  // completed
+
+  AsciiMapOptions opt;
+  opt.width = 20;
+  opt.height = 10;
+  opt.round = 2;  // task 2 (deadline 1) now expired
+  const std::string map = render_ascii_map(w, opt);
+
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : map) {
+      if (c == '\n') {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    return out;
+  }();
+  // Frame: border rows plus content rows plus legend.
+  ASSERT_EQ(lines.size(), 10u + 2u + 1u);
+  EXPECT_EQ(lines[0], "+" + std::string(20, '-') + "+");
+  // Top row holds the fresh task '0' on the left and the completed '*' on
+  // the right (y grows upward -> first content line).
+  EXPECT_NE(lines[1].find('0'), std::string::npos);
+  EXPECT_NE(lines[1].find('*'), std::string::npos);
+  // Bottom content line holds the expired task.
+  EXPECT_NE(lines[10].find('!'), std::string::npos);
+  // Two users in one cell -> ','.
+  EXPECT_NE(map.find(','), std::string::npos);
+  // Legend present.
+  EXPECT_NE(map.find("users:"), std::string::npos);
+}
+
+TEST(AsciiMap, ProgressDigits) {
+  model::World w(geo::BoundingBox::square(10.0), geo::TravelModel{}, 1.0);
+  w.add_task({5, 5}, 9, 10);
+  for (int u = 0; u < 7; ++u) w.task(0).add_measurement(u, 1, 0.1);
+  AsciiMapOptions opt;
+  opt.width = 5;
+  opt.height = 5;
+  opt.legend = false;
+  const std::string map = render_ascii_map(w, opt);
+  EXPECT_NE(map.find('7'), std::string::npos);  // 7/10 progress
+}
+
+TEST(AsciiMap, LeastCompleteTaskWinsSharedCell) {
+  model::World w(geo::BoundingBox::square(10.0), geo::TravelModel{}, 1.0);
+  w.add_task({5, 5}, 9, 2);
+  w.add_task({5.1, 5.0}, 9, 2);  // same cell at width 4
+  w.task(0).add_measurement(0, 1, 0.1);  // 50%
+  AsciiMapOptions opt;
+  opt.width = 4;
+  opt.height = 4;
+  opt.legend = false;
+  const std::string map = render_ascii_map(w, opt);
+  EXPECT_NE(map.find('0'), std::string::npos);  // the untouched one shows
+  EXPECT_EQ(map.find('5'), std::string::npos);
+}
+
+TEST(AsciiMap, RejectsTinyCanvas) {
+  const model::World w = map_world();
+  AsciiMapOptions opt;
+  opt.width = 2;
+  EXPECT_THROW(render_ascii_map(w, opt), Error);
+}
+
+}  // namespace
+}  // namespace mcs::sim

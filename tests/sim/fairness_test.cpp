@@ -1,0 +1,78 @@
+#include "sim/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mcs::sim {
+namespace {
+
+TEST(Gini, KnownValues) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({3.0, 3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({0.0, 0.0, 0.0}), 0.0);
+  // One person owns everything among n: G = (n-1)/n.
+  EXPECT_NEAR(gini_coefficient({0.0, 0.0, 0.0, 12.0}), 0.75, 1e-12);
+  // Classic example {1,2,3,4,5}: G = 4/15.
+  EXPECT_NEAR(gini_coefficient({1, 2, 3, 4, 5}), 4.0 / 15.0, 1e-12);
+}
+
+TEST(Gini, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({5, 1, 3}), gini_coefficient({1, 3, 5}));
+}
+
+TEST(Gini, RejectsNegative) {
+  EXPECT_THROW(gini_coefficient({1.0, -2.0}), Error);
+}
+
+TEST(Jain, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({4.0, 4.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+  // One of n gets everything: J = 1/n.
+  EXPECT_NEAR(jain_index({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // {1,2,3}: (6^2)/(3*14) = 36/42.
+  EXPECT_NEAR(jain_index({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, WorldReport) {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 10.0);
+  w.add_task({0, 0}, 5, 10);
+  w.add_user({0, 0}, 100.0);
+  w.add_user({0, 0}, 100.0);
+  w.add_user({0, 0}, 100.0);
+  w.user(0).add_earnings(6.0, 1.0);
+  w.user(0).mark_contributed(0);
+  w.user(1).add_earnings(6.0, 1.0);
+  w.user(1).mark_contributed(0);
+  // user 2 idle
+
+  const FairnessReport r = fairness_report(w);
+  EXPECT_NEAR(r.active_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.reward_gini, gini_coefficient({6.0, 6.0, 0.0}), 1e-12);
+  EXPECT_NEAR(r.reward_jain, jain_index({6.0, 6.0, 0.0}), 1e-12);
+  EXPECT_NEAR(r.profit_gini, gini_coefficient({5.0, 5.0, 0.0}), 1e-12);
+}
+
+TEST(Fairness, PerfectEqualityAndMonopoly) {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 10.0);
+  w.add_user({0, 0}, 1.0);
+  w.add_user({0, 0}, 1.0);
+  w.user(0).add_earnings(3.0, 0.0);
+  w.user(1).add_earnings(3.0, 0.0);
+  const FairnessReport equal = fairness_report(w);
+  EXPECT_DOUBLE_EQ(equal.reward_gini, 0.0);
+  EXPECT_DOUBLE_EQ(equal.reward_jain, 1.0);
+
+  model::World m(geo::BoundingBox::square(100.0), geo::TravelModel{}, 10.0);
+  m.add_user({0, 0}, 1.0);
+  m.add_user({0, 0}, 1.0);
+  m.user(0).add_earnings(3.0, 0.0);
+  const FairnessReport mono = fairness_report(m);
+  EXPECT_NEAR(mono.reward_gini, 0.5, 1e-12);
+  EXPECT_NEAR(mono.reward_jain, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,172 @@
+// Simulator x mechanism interplay: properties that only show up when the
+// pricing policy and the round loop interact — order (in)sensitivity,
+// reward trajectories on crafted worlds, mobility effects on specific
+// mechanisms.
+#include <gtest/gtest.h>
+
+#include "incentive/fixed_mechanism.h"
+#include "incentive/on_demand_mechanism.h"
+#include "incentive/steered_mechanism.h"
+#include "select/selector.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace mcs::sim {
+namespace {
+
+using incentive::DemandIndicator;
+using incentive::DemandLevelScale;
+using incentive::RewardRule;
+
+model::World seeded_world(std::uint64_t seed, int users = 30, int tasks = 8) {
+  ScenarioParams p;
+  p.num_users = users;
+  p.num_tasks = tasks;
+  p.required_measurements = 6;
+  Rng rng(seed);
+  return generate_world(p, rng);
+}
+
+Simulator sim_with(model::World world,
+                   std::unique_ptr<incentive::IncentiveMechanism> mech,
+                   std::uint64_t order_seed) {
+  SimulatorParams sp;
+  sp.order_seed = order_seed;
+  return Simulator(std::move(world), std::move(mech),
+                   select::make_selector(select::SelectorKind::kGreedy), sp);
+}
+
+std::unique_ptr<incentive::IncentiveMechanism> on_demand() {
+  return std::make_unique<incentive::OnDemandMechanism>(
+      DemandIndicator::with_paper_defaults(), DemandLevelScale(5),
+      RewardRule(0.5, 0.5, 5));
+}
+
+TEST(Interplay, RoundGranularMechanismIsUserOrderInvariant) {
+  // On-demand publishes once per round, and deliveries within a round are
+  // all honored — so the user visiting order must not change any outcome.
+  Simulator a = sim_with(seeded_world(5), on_demand(), /*order_seed=*/1);
+  Simulator b = sim_with(seeded_world(5), on_demand(), /*order_seed=*/999);
+  const CampaignMetrics ma = a.run();
+  const CampaignMetrics mb = b.run();
+  EXPECT_EQ(ma.per_task_received, mb.per_task_received);
+  EXPECT_DOUBLE_EQ(ma.total_paid, mb.total_paid);
+  EXPECT_DOUBLE_EQ(ma.completeness_pct, mb.completeness_pct);
+}
+
+TEST(Interplay, SteeredIsUserOrderSensitive) {
+  // Steered reprices per user session, so the shuffle genuinely matters.
+  // (Identical results for every seed would mean the intra-round path is
+  // dead; distinct results confirm it runs. Compare several seeds to dodge
+  // coincidental equality.)
+  const CampaignMetrics base =
+      sim_with(seeded_world(6),
+               std::make_unique<incentive::SteeredMechanism>(0.5, 10.0, 0.2), 1)
+          .run();
+  bool any_difference = false;
+  for (const std::uint64_t seed : {2ULL, 3ULL, 4ULL, 5ULL}) {
+    const CampaignMetrics other =
+        sim_with(seeded_world(6),
+                 std::make_unique<incentive::SteeredMechanism>(0.5, 10.0, 0.2),
+                 seed)
+            .run();
+    if (other.total_paid != base.total_paid ||
+        other.per_task_received != base.per_task_received) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Interplay, OnDemandRewardRisesOnAStarvedTask) {
+  // A world with one popular task cluster and one remote task: the remote
+  // task's published reward must be non-decreasing while it is starved and
+  // its deadline approaches.
+  model::World w(geo::BoundingBox::square(3000.0), geo::TravelModel{}, 500.0);
+  w.add_task({100, 100}, 10, 3);     // popular
+  w.add_task({2900, 2900}, 10, 30);  // remote, effectively never completes
+  for (int i = 0; i < 10; ++i) {
+    w.add_user({100.0 + 10.0 * i, 100.0}, 300.0);
+  }
+  auto mech = std::make_unique<incentive::OnDemandMechanism>(
+      DemandIndicator::with_paper_defaults(), DemandLevelScale(5),
+      RewardRule(0.5, 0.5, 5));
+  const incentive::OnDemandMechanism* raw = mech.get();
+  SimulatorParams sp;
+  sp.max_rounds = 10;
+  Simulator s(std::move(w), std::move(mech),
+              select::make_selector(select::SelectorKind::kGreedy), sp);
+  Money prev = 0.0;
+  for (Round k = 1; k <= 10; ++k) {
+    s.step();
+    const Money remote_reward = raw->rewards()[1];
+    EXPECT_GE(remote_reward, prev - 1e-12) << "round " << k;
+    prev = remote_reward;
+  }
+  // By the final rounds the starved remote task must sit at the top level.
+  EXPECT_DOUBLE_EQ(prev, 2.5);
+}
+
+TEST(Interplay, FixedRewardsIdenticalEveryRound) {
+  model::World w = seeded_world(7);
+  auto mech = std::make_unique<incentive::FixedMechanism>(
+      RewardRule(0.5, 0.5, 5), std::vector<int>(w.num_tasks(), 3));
+  const incentive::FixedMechanism* raw = mech.get();
+  SimulatorParams sp;
+  Simulator s(std::move(w), std::move(mech),
+              select::make_selector(select::SelectorKind::kGreedy), sp);
+  for (Round k = 1; k <= 5; ++k) {
+    s.step();
+    for (std::size_t i = 0; i < s.world().num_tasks(); ++i) {
+      const model::Task& t = s.world().tasks()[i];
+      if (!t.completed() && !t.expired_at(k)) {
+        EXPECT_DOUBLE_EQ(raw->rewards()[i], 1.5);
+      }
+    }
+  }
+}
+
+TEST(Interplay, WaypointChurnBeatsStaticForFixedMechanism) {
+  // The mobility claim behind bench_ext_mobility, pinned as a test: a fixed
+  // mechanism collects strictly more under full churn than with a static
+  // population (fresh users keep arriving near unexhausted tasks).
+  auto run = [](MobilityKind mob) {
+    ScenarioParams p;
+    p.num_users = 60;
+    Rng rng(8);
+    model::World world = generate_world(p, rng);
+    Rng mech_rng(1);
+    auto mech = incentive::make_mechanism(incentive::MechanismKind::kFixed,
+                                          world, {}, mech_rng);
+    SimulatorParams sp;
+    Simulator s(std::move(world), std::move(mech),
+                select::make_selector(select::SelectorKind::kGreedy), sp,
+                make_mobility(mob));
+    return s.run().completeness_pct;
+  };
+  const double static_compl = run(MobilityKind::kStaticHome);
+  const double churn_compl = run(MobilityKind::kRandomWaypoint);
+  EXPECT_GT(churn_compl, static_compl + 5.0);
+}
+
+TEST(Interplay, IntraRoundMechanismStillHonorsRoundStartOpenSet) {
+  // A task completed in an earlier round must never receive measurements
+  // under an intra-round mechanism either.
+  model::World w(geo::BoundingBox::square(500.0), geo::TravelModel{}, 100.0);
+  w.add_task({10, 10}, 10, 1);
+  w.add_task({400, 400}, 10, 5);
+  for (int i = 0; i < 5; ++i) w.add_user({0, 0}, 600.0);
+  SimulatorParams sp;
+  Simulator s(std::move(w),
+              std::make_unique<incentive::SteeredMechanism>(0.5, 10.0, 0.2),
+              select::make_selector(select::SelectorKind::kGreedy), sp);
+  s.step();
+  const int after_r1 = s.world().task(0).received();
+  EXPECT_GE(after_r1, 1);
+  for (int k = 0; k < 4; ++k) s.step();
+  EXPECT_EQ(s.world().task(0).received(), after_r1);
+}
+
+}  // namespace
+}  // namespace mcs::sim

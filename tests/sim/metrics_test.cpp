@@ -1,0 +1,76 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+model::World crafted_world() {
+  model::World w(geo::BoundingBox::square(1000.0), geo::TravelModel{}, 100.0);
+  w.add_task({0, 0}, 10, 4);    // will be completed
+  w.add_task({10, 10}, 10, 4);  // half done
+  w.add_task({20, 20}, 10, 4);  // untouched
+  w.add_task({30, 30}, 10, 2);  // overfilled (3 of 2)
+  for (int u = 0; u < 6; ++u) w.add_user({0, 0}, 100.0);
+  for (int u = 0; u < 4; ++u) w.task(0).add_measurement(u, 1, 1.0);
+  for (int u = 0; u < 2; ++u) w.task(1).add_measurement(u, 1, 0.5);
+  for (int u = 0; u < 3; ++u) w.task(3).add_measurement(u, 1, 2.0);
+  return w;
+}
+
+TEST(Metrics, Coverage) {
+  const model::World w = crafted_world();
+  EXPECT_DOUBLE_EQ(coverage_pct(w), 75.0);  // 3 of 4 touched
+}
+
+TEST(Metrics, Completeness) {
+  const model::World w = crafted_world();
+  // useful = 4 + 2 + 0 + 2 = 8; required = 4+4+4+2 = 14.
+  EXPECT_NEAR(completeness_pct(w), 100.0 * 8.0 / 14.0, 1e-12);
+}
+
+TEST(Metrics, TasksCompleted) {
+  const model::World w = crafted_world();
+  EXPECT_DOUBLE_EQ(tasks_completed_pct(w), 50.0);  // tasks 0 and 3
+}
+
+TEST(Metrics, AvgMeasurementsCapped) {
+  const model::World w = crafted_world();
+  // capped counts: 4, 2, 0, 2 -> mean 2.
+  EXPECT_DOUBLE_EQ(avg_measurements_capped(w), 2.0);
+}
+
+TEST(Metrics, VarianceOfCappedCounts) {
+  const model::World w = crafted_world();
+  // counts 4,2,0,2: mean 2, variance (4+0+4+0)/4 = 2.
+  EXPECT_DOUBLE_EQ(measurement_variance(w), 2.0);
+}
+
+TEST(Metrics, SummarizeBundlesEverything) {
+  const model::World w = crafted_world();
+  const CampaignMetrics m = summarize(w, /*total_paid=*/11.0,
+                                      /*overdraft=*/0.5);
+  EXPECT_DOUBLE_EQ(m.coverage_pct, 75.0);
+  EXPECT_DOUBLE_EQ(m.tasks_completed_pct, 50.0);
+  EXPECT_DOUBLE_EQ(m.avg_measurements, 2.0);
+  EXPECT_DOUBLE_EQ(m.measurement_variance, 2.0);
+  EXPECT_DOUBLE_EQ(m.total_paid, 11.0);
+  EXPECT_EQ(m.total_measurements, 9);
+  EXPECT_NEAR(m.avg_reward_per_measurement, 11.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.budget_overdraft, 0.5);
+  EXPECT_EQ(m.per_task_received, (std::vector<int>{4, 2, 0, 3}));
+}
+
+TEST(Metrics, EmptyWorldConventions) {
+  model::World w(geo::BoundingBox::square(10.0), geo::TravelModel{}, 1.0);
+  EXPECT_DOUBLE_EQ(coverage_pct(w), 100.0);
+  EXPECT_DOUBLE_EQ(completeness_pct(w), 100.0);
+  EXPECT_DOUBLE_EQ(tasks_completed_pct(w), 100.0);
+  EXPECT_DOUBLE_EQ(avg_measurements_capped(w), 0.0);
+  EXPECT_DOUBLE_EQ(measurement_variance(w), 0.0);
+  const CampaignMetrics m = summarize(w, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_reward_per_measurement, 0.0);
+}
+
+}  // namespace
+}  // namespace mcs::sim

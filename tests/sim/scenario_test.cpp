@@ -1,0 +1,157 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "geo/distance.h"
+
+namespace mcs::sim {
+namespace {
+
+TEST(Scenario, GeneratesRequestedCounts) {
+  ScenarioParams p;
+  Rng rng(1);
+  const model::World w = generate_world(p, rng);
+  EXPECT_EQ(w.num_tasks(), 20u);
+  EXPECT_EQ(w.num_users(), 100u);
+  EXPECT_EQ(w.total_required(), 400);
+}
+
+TEST(Scenario, RespectsRanges) {
+  ScenarioParams p;
+  p.num_tasks = 50;
+  p.num_users = 80;
+  Rng rng(2);
+  const model::World w = generate_world(p, rng);
+  for (const model::Task& t : w.tasks()) {
+    EXPECT_TRUE(w.area().contains(t.location()));
+    EXPECT_GE(t.deadline(), p.deadline_min);
+    EXPECT_LE(t.deadline(), p.deadline_max);
+    EXPECT_EQ(t.required(), p.required_measurements);
+  }
+  for (const model::User& u : w.users()) {
+    EXPECT_TRUE(w.area().contains(u.home()));
+    EXPECT_GE(u.time_budget(), p.user_budget_min_s);
+    EXPECT_LE(u.time_budget(), p.user_budget_max_s);
+  }
+  EXPECT_DOUBLE_EQ(w.travel().speed_mps, p.speed_mps);
+  EXPECT_DOUBLE_EQ(w.travel().cost_per_meter, p.cost_per_meter);
+  EXPECT_DOUBLE_EQ(w.neighbor_radius(), p.neighbor_radius);
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  ScenarioParams p;
+  Rng a(7);
+  Rng b(7);
+  const model::World wa = generate_world(p, a);
+  const model::World wb = generate_world(p, b);
+  for (std::size_t i = 0; i < wa.num_tasks(); ++i) {
+    EXPECT_EQ(wa.tasks()[i].location(), wb.tasks()[i].location());
+    EXPECT_EQ(wa.tasks()[i].deadline(), wb.tasks()[i].deadline());
+  }
+  for (std::size_t i = 0; i < wa.num_users(); ++i) {
+    EXPECT_EQ(wa.users()[i].home(), wb.users()[i].home());
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioParams p;
+  Rng a(7);
+  Rng b(8);
+  const model::World wa = generate_world(p, a);
+  const model::World wb = generate_world(p, b);
+  EXPECT_NE(wa.tasks()[0].location(), wb.tasks()[0].location());
+}
+
+TEST(Scenario, SpatialCoverageOfUniformPlacement) {
+  // With 200 points in a 3000 m square, every quadrant should be populated.
+  ScenarioParams p;
+  p.num_tasks = 200;
+  Rng rng(3);
+  const model::World w = generate_world(p, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const model::Task& t : w.tasks()) {
+    const int qx = t.location().x < 1500.0 ? 0 : 1;
+    const int qy = t.location().y < 1500.0 ? 0 : 1;
+    ++quadrant[qx * 2 + qy];
+  }
+  for (const int q : quadrant) EXPECT_GT(q, 20);
+}
+
+TEST(Scenario, ClusteredWorldConcentratesTasks) {
+  ScenarioParams p;
+  p.num_tasks = 60;
+  Rng rng(4);
+  const model::World w = generate_clustered_world(p, /*clusters=*/2,
+                                                  /*sigma=*/50.0, rng);
+  EXPECT_EQ(w.num_tasks(), 60u);
+  // With sigma=50 and 2 clusters, the average pairwise distance must be far
+  // below the uniform expectation (~1550 m for a 3000 m square).
+  double total = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < w.num_tasks(); ++i) {
+    for (std::size_t j = i + 1; j < w.num_tasks(); ++j) {
+      total += geo::euclidean(w.tasks()[i].location(), w.tasks()[j].location());
+      ++pairs;
+    }
+  }
+  EXPECT_LT(total / pairs, 1200.0);
+  for (const model::Task& t : w.tasks()) {
+    EXPECT_TRUE(w.area().contains(t.location()));
+  }
+}
+
+TEST(Scenario, HeterogeneousRequirements) {
+  ScenarioParams p;
+  p.num_tasks = 200;
+  p.required_measurements = 20;
+  p.required_spread = 5;
+  Rng rng(9);
+  const model::World w = generate_world(p, rng);
+  bool varied = false;
+  for (const model::Task& t : w.tasks()) {
+    EXPECT_GE(t.required(), 15);
+    EXPECT_LE(t.required(), 25);
+    if (t.required() != 20) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  // Mean phi stays near the center.
+  EXPECT_NEAR(static_cast<double>(w.total_required()) / 200.0, 20.0, 1.0);
+}
+
+TEST(Scenario, SpreadClampsAtOne) {
+  ScenarioParams p;
+  p.num_tasks = 100;
+  p.required_measurements = 2;
+  p.required_spread = 10;  // lower bound would be negative without clamping
+  Rng rng(10);
+  const model::World w = generate_world(p, rng);
+  for (const model::Task& t : w.tasks()) {
+    EXPECT_GE(t.required(), 1);
+    EXPECT_LE(t.required(), 12);
+  }
+}
+
+TEST(Scenario, ParamValidation) {
+  Rng rng(5);
+  ScenarioParams p;
+  p.num_tasks = 0;
+  EXPECT_THROW(generate_world(p, rng), Error);
+  p = {};
+  p.deadline_min = 10;
+  p.deadline_max = 5;
+  EXPECT_THROW(generate_world(p, rng), Error);
+  p = {};
+  p.user_budget_min_s = 700.0;
+  p.user_budget_max_s = 600.0;
+  EXPECT_THROW(generate_world(p, rng), Error);
+  p = {};
+  EXPECT_THROW(generate_clustered_world(p, 0, 10.0, rng), Error);
+  EXPECT_THROW(generate_clustered_world(p, 2, -1.0, rng), Error);
+  p = {};
+  p.required_spread = -1;
+  EXPECT_THROW(generate_world(p, rng), Error);
+}
+
+}  // namespace
+}  // namespace mcs::sim

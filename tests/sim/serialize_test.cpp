@@ -1,0 +1,135 @@
+#include "sim/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mcs::sim {
+namespace {
+
+TEST(SerializeScenario, RoundTripIsIdentity) {
+  ScenarioParams p;
+  p.area_side = 1234.5;
+  p.num_tasks = 7;
+  p.num_users = 33;
+  p.required_measurements = 9;
+  p.required_spread = 2;
+  p.deadline_min = 3;
+  p.deadline_max = 11;
+  p.speed_mps = 1.4;
+  p.cost_per_meter = 0.005;
+  p.user_budget_min_s = 120.0;
+  p.user_budget_max_s = 480.0;
+  p.neighbor_radius = 321.0;
+
+  const ScenarioParams q = scenario_from_json(scenario_to_json(p));
+  EXPECT_DOUBLE_EQ(q.area_side, p.area_side);
+  EXPECT_EQ(q.num_tasks, p.num_tasks);
+  EXPECT_EQ(q.num_users, p.num_users);
+  EXPECT_EQ(q.required_measurements, p.required_measurements);
+  EXPECT_EQ(q.required_spread, p.required_spread);
+  EXPECT_EQ(q.deadline_min, p.deadline_min);
+  EXPECT_EQ(q.deadline_max, p.deadline_max);
+  EXPECT_DOUBLE_EQ(q.speed_mps, p.speed_mps);
+  EXPECT_DOUBLE_EQ(q.cost_per_meter, p.cost_per_meter);
+  EXPECT_DOUBLE_EQ(q.user_budget_min_s, p.user_budget_min_s);
+  EXPECT_DOUBLE_EQ(q.user_budget_max_s, p.user_budget_max_s);
+  EXPECT_DOUBLE_EQ(q.neighbor_radius, p.neighbor_radius);
+}
+
+TEST(SerializeScenario, MissingKeysUseDefaults) {
+  const ScenarioParams p =
+      scenario_from_json(Json::parse("{\"num_users\": 55}"));
+  EXPECT_EQ(p.num_users, 55);
+  EXPECT_EQ(p.num_tasks, ScenarioParams{}.num_tasks);
+  EXPECT_DOUBLE_EQ(p.area_side, ScenarioParams{}.area_side);
+}
+
+TEST(SerializeScenario, UnknownKeyRejected) {
+  EXPECT_THROW(scenario_from_json(Json::parse("{\"num_userz\": 55}")), Error);
+}
+
+TEST(SerializeScenario, InvalidValuesRejectedByValidation) {
+  EXPECT_THROW(scenario_from_json(Json::parse("{\"num_tasks\": 0}")), Error);
+}
+
+TEST(SerializeScenario, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/mcs_scenario.json";
+  {
+    std::ofstream out(path);
+    out << "{\"num_tasks\": 4, \"num_users\": 8, \"area_side\": 500}";
+  }
+  const ScenarioParams p = load_scenario(path);
+  EXPECT_EQ(p.num_tasks, 4);
+  EXPECT_EQ(p.num_users, 8);
+  EXPECT_DOUBLE_EQ(p.area_side, 500.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario("/nonexistent/x.json"), Error);
+}
+
+TEST(SerializeWorld, SnapshotStructure) {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 25.0);
+  w.add_task({10, 20}, 5, 3);
+  w.add_user({1, 2}, 300.0);
+  w.task(0).add_measurement(0, 1, 1.5);
+  w.user(0).add_earnings(1.5, 0.2);
+  w.user(0).mark_contributed(0);
+
+  const Json j = world_to_json(w);
+  EXPECT_DOUBLE_EQ(j.at("area_side").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(j.at("neighbor_radius").as_number(), 25.0);
+  EXPECT_DOUBLE_EQ(j.at("travel").at("speed_mps").as_number(), 2.0);
+  ASSERT_EQ(j.at("tasks").size(), 1u);
+  const Json& t = j.at("tasks").at(0);
+  EXPECT_EQ(t.at("id").as_int(), 0);
+  EXPECT_DOUBLE_EQ(t.at("location").at("x").as_number(), 10.0);
+  EXPECT_EQ(t.at("received").as_int(), 1);
+  EXPECT_FALSE(t.at("completed").as_bool());
+  ASSERT_EQ(t.at("measurements").size(), 1u);
+  EXPECT_DOUBLE_EQ(t.at("measurements").at(0).at("reward").as_number(), 1.5);
+  const Json& u = j.at("users").at(0);
+  EXPECT_DOUBLE_EQ(u.at("total_reward").as_number(), 1.5);
+  EXPECT_EQ(u.at("tasks_contributed").as_int(), 1);
+  // The dump parses back to an equal document.
+  EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(SerializeMetrics, CampaignAndRounds) {
+  CampaignMetrics m;
+  m.coverage_pct = 95.0;
+  m.total_paid = 123.5;
+  m.total_measurements = 77;
+  m.per_task_received = {3, 4};
+  m.reward_gini = 0.25;
+  const Json j = campaign_to_json(m);
+  EXPECT_DOUBLE_EQ(j.at("coverage_pct").as_number(), 95.0);
+  EXPECT_EQ(j.at("total_measurements").as_int(), 77);
+  EXPECT_EQ(j.at("per_task_received").size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("reward_gini").as_number(), 0.25);
+
+  RoundMetrics rm;
+  rm.round = 3;
+  rm.new_measurements = 12;
+  rm.mean_open_reward = 1.25;
+  const Json jr = rounds_to_json({rm});
+  ASSERT_EQ(jr.size(), 1u);
+  EXPECT_EQ(jr.at(0).at("round").as_int(), 3);
+  EXPECT_DOUBLE_EQ(jr.at(0).at("mean_open_reward").as_number(), 1.25);
+}
+
+TEST(SerializeEvents, TraceExport) {
+  EventLog log(true);
+  log.record({2, 5, 1, 0.75, 33.0});
+  const Json j = events_to_json(log);
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.at(0).at("round").as_int(), 2);
+  EXPECT_EQ(j.at(0).at("user").as_int(), 5);
+  EXPECT_DOUBLE_EQ(j.at(0).at("reward").as_number(), 0.75);
+}
+
+}  // namespace
+}  // namespace mcs::sim

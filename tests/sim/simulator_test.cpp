@@ -1,0 +1,200 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "incentive/fixed_mechanism.h"
+#include "incentive/on_demand_mechanism.h"
+#include "select/selector.h"
+#include "sim/scenario.h"
+
+namespace mcs::sim {
+namespace {
+
+using incentive::DemandIndicator;
+using incentive::DemandLevelScale;
+using incentive::FixedMechanism;
+using incentive::OnDemandMechanism;
+using incentive::RewardRule;
+
+model::World tiny_world() {
+  model::World w(geo::BoundingBox::square(1000.0), geo::TravelModel{}, 200.0);
+  w.add_task({100, 0}, 5, 2);   // near user homes
+  w.add_task({900, 900}, 5, 2); // far corner
+  w.add_user({0, 0}, 600.0);    // can walk 1200 m per round
+  w.add_user({50, 0}, 600.0);
+  w.add_user({0, 50}, 600.0);
+  return w;
+}
+
+Simulator make_sim(model::World world, SimulatorParams sp = {}) {
+  auto mech = std::make_unique<OnDemandMechanism>(
+      DemandIndicator::with_paper_defaults(), DemandLevelScale(5),
+      RewardRule(0.5, 0.5, 5));
+  auto sel = select::make_selector(select::SelectorKind::kDp);
+  return Simulator(std::move(world), std::move(mech), std::move(sel), sp);
+}
+
+TEST(Simulator, StepProducesRoundMetrics) {
+  Simulator s = make_sim(tiny_world());
+  const RoundMetrics& rm = s.step();
+  EXPECT_EQ(rm.round, 1);
+  EXPECT_GT(rm.new_measurements, 0);
+  EXPECT_EQ(rm.total_measurements, rm.new_measurements);
+  EXPECT_EQ(rm.user_profit.size(), 3u);
+  EXPECT_EQ(s.current_round(), 1);
+}
+
+TEST(Simulator, UsersNeverRepeatATask) {
+  Simulator s = make_sim(tiny_world());
+  for (int k = 0; k < 5; ++k) s.step();
+  for (const model::Task& t : s.world().tasks()) {
+    std::set<UserId> contributors;
+    for (const auto& m : t.measurements()) {
+      EXPECT_TRUE(contributors.insert(m.user).second)
+          << "user " << m.user << " contributed twice to task " << t.id();
+    }
+  }
+}
+
+TEST(Simulator, CompletedTasksAreWithdrawnNextRound) {
+  // Task 0 needs 2 measurements and has 3 users adjacent: it completes in
+  // round 1 (possibly with overflow) and must receive nothing afterwards.
+  Simulator s = make_sim(tiny_world());
+  s.step();
+  const int after_round1 = s.world().task(0).received();
+  EXPECT_GE(after_round1, 2);
+  for (int k = 0; k < 4; ++k) s.step();
+  EXPECT_EQ(s.world().task(0).received(), after_round1);
+}
+
+TEST(Simulator, NoMeasurementsAfterDeadline) {
+  SimulatorParams sp;
+  sp.max_rounds = 8;
+  Simulator sim = make_sim(tiny_world(), sp);
+  for (int k = 0; k < 8; ++k) sim.step();
+  for (const model::Task& t : sim.world().tasks()) {
+    for (const auto& m : t.measurements()) {
+      EXPECT_LE(m.round, t.deadline());
+    }
+  }
+}
+
+TEST(Simulator, PaymentsMatchTaskLedgers) {
+  Simulator s = make_sim(tiny_world());
+  for (int k = 0; k < 5 && !s.all_tasks_closed(); ++k) s.step();
+  EXPECT_NEAR(s.budget().spent(), s.world().total_paid(), 1e-9);
+}
+
+TEST(Simulator, UserProfitsConsistentWithLedger) {
+  Simulator s = make_sim(tiny_world());
+  s.step();
+  const auto& rm = s.history().back();
+  for (std::size_t u = 0; u < 3; ++u) {
+    const model::User& user = s.world().users()[u];
+    EXPECT_NEAR(rm.user_profit[u], user.total_profit(), 1e-9);
+  }
+}
+
+TEST(Simulator, RunStopsWhenAllTasksClosed) {
+  SimulatorParams sp;
+  sp.max_rounds = 15;
+  Simulator s = make_sim(tiny_world(), sp);
+  const CampaignMetrics m = s.run();
+  EXPECT_TRUE(s.all_tasks_closed() || s.current_round() == 15);
+  EXPECT_GT(m.total_measurements, 0);
+  // Both tasks are trivially reachable for 3 users at budget 600 s; the
+  // near one completes, the far one at (900,900) is within 1273 m one-way,
+  // too far for the 1200 m budget -> expired uncovered.
+  EXPECT_TRUE(s.world().task(0).completed());
+}
+
+TEST(Simulator, StepPastEndThrows) {
+  SimulatorParams sp;
+  sp.max_rounds = 1;
+  Simulator s = make_sim(tiny_world(), sp);
+  s.step();
+  EXPECT_THROW(s.step(), Error);
+}
+
+TEST(Simulator, EventTraceMatchesMeasurements) {
+  SimulatorParams sp;
+  sp.record_events = true;
+  Simulator s = make_sim(tiny_world(), sp);
+  for (int k = 0; k < 3; ++k) s.step();
+  EXPECT_EQ(static_cast<long long>(s.events().size()),
+            s.world().total_received());
+  for (const SensingEvent& e : s.events().events()) {
+    EXPECT_TRUE(s.world().task(e.task).has_contributed(e.user));
+    EXPECT_GT(e.reward, 0.0);
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  SimulatorParams sp;
+  sp.max_rounds = 5;
+  Simulator a = make_sim(tiny_world(), sp);
+  Simulator b = make_sim(tiny_world(), sp);
+  const CampaignMetrics ma = a.run();
+  const CampaignMetrics mb = b.run();
+  EXPECT_EQ(ma.total_measurements, mb.total_measurements);
+  EXPECT_DOUBLE_EQ(ma.total_paid, mb.total_paid);
+  EXPECT_EQ(ma.per_task_received, mb.per_task_received);
+}
+
+TEST(Simulator, PeekInstancesDoesNotMutateState) {
+  Simulator s = make_sim(tiny_world());
+  const auto insts = s.peek_instances();
+  ASSERT_EQ(insts.size(), 3u);
+  EXPECT_EQ(s.world().total_received(), 0);
+  EXPECT_EQ(s.current_round(), 0);
+  // Users near (0,0) see the near task as a candidate; the far corner task
+  // (1273 m away) exceeds every budget and is still listed as a candidate —
+  // filtering by reachability is the selector's job, not the instance's.
+  for (const auto& inst : insts) {
+    EXPECT_EQ(inst.candidates.size(), 2u);
+    EXPECT_DOUBLE_EQ(inst.time_budget, 600.0);
+  }
+  // Stepping afterwards behaves exactly like a fresh simulator.
+  Simulator fresh = make_sim(tiny_world());
+  EXPECT_EQ(s.step().new_measurements, fresh.step().new_measurements);
+}
+
+TEST(Simulator, FixedMechanismCountsArePaidAtFixedRate) {
+  model::World w = tiny_world();
+  auto mech = std::make_unique<FixedMechanism>(RewardRule(0.5, 0.5, 5),
+                                               std::vector<int>{3, 3});
+  auto sel = select::make_selector(select::SelectorKind::kGreedy);
+  Simulator s(std::move(w), std::move(mech), std::move(sel), {});
+  s.step();
+  for (const model::Task& t : s.world().tasks()) {
+    for (const auto& m : t.measurements()) {
+      EXPECT_DOUBLE_EQ(m.reward_paid, 1.5);  // level 3
+    }
+  }
+}
+
+TEST(Simulator, MeanOpenRewardTracksPublishedPrices) {
+  Simulator s = make_sim(tiny_world());
+  const RoundMetrics& rm = s.step();
+  EXPECT_EQ(rm.open_tasks, 2);
+  // Both tasks open at round 1; the snapshot mean is within the rule range.
+  EXPECT_GE(rm.mean_open_reward, 0.5);
+  EXPECT_LE(rm.mean_open_reward, 2.5);
+  // After the near task completes, only the far one stays open.
+  const RoundMetrics& rm2 = s.step();
+  EXPECT_EQ(rm2.open_tasks, 1);
+}
+
+TEST(Simulator, ConstructionValidation) {
+  auto sel = select::make_selector(select::SelectorKind::kGreedy);
+  EXPECT_THROW(Simulator(tiny_world(), nullptr, std::move(sel), {}), Error);
+  auto mech = std::make_unique<FixedMechanism>(RewardRule(0.5, 0.5, 5),
+                                               std::vector<int>{1, 1});
+  EXPECT_THROW(Simulator(tiny_world(), std::move(mech), nullptr, {}), Error);
+}
+
+}  // namespace
+}  // namespace mcs::sim

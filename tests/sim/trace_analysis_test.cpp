@@ -1,0 +1,96 @@
+#include "sim/trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "incentive/on_demand_mechanism.h"
+#include "select/selector.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace mcs::sim {
+namespace {
+
+model::World trace_world() {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 10.0);
+  w.add_task({0, 0}, 9, 2);   // task 0
+  w.add_task({50, 50}, 9, 2); // task 1, never touched
+  for (int u = 0; u < 3; ++u) w.add_user({0, 0}, 100.0);
+  return w;
+}
+
+TEST(TraceAnalysis, TimelinesFromHandCraftedLog) {
+  const model::World w = trace_world();
+  EventLog log(true);
+  log.record({1, 0, 0, 1.0, 10.0});
+  log.record({3, 1, 0, 1.5, 20.0});  // completes task 0 at round 3
+  log.record({4, 2, 0, 2.0, 30.0});  // overflow measurement
+
+  const auto timelines = task_timelines(w, log);
+  ASSERT_EQ(timelines.size(), 2u);
+  EXPECT_EQ(timelines[0].first_measurement, 1);
+  EXPECT_EQ(timelines[0].completed_round, 3);
+  EXPECT_EQ(timelines[0].measurements, 3);
+  EXPECT_DOUBLE_EQ(timelines[0].total_paid, 4.5);
+  EXPECT_EQ(timelines[1].first_measurement, 0);  // never covered
+  EXPECT_EQ(timelines[1].completed_round, 0);
+
+  const TraceSummary s = summarize_trace(w, log);
+  EXPECT_DOUBLE_EQ(s.mean_rounds_to_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_rounds_to_completion, 3.0);
+  EXPECT_EQ(s.tasks_never_covered, 1);
+  EXPECT_EQ(s.tasks_never_completed, 1);
+  EXPECT_DOUBLE_EQ(s.total_distance, 60.0);
+  EXPECT_DOUBLE_EQ(s.mean_leg_distance, 20.0);
+}
+
+TEST(TraceAnalysis, EmptyLog) {
+  const model::World w = trace_world();
+  const EventLog log(true);
+  const TraceSummary s = summarize_trace(w, log);
+  EXPECT_EQ(s.tasks_never_covered, 2);
+  EXPECT_EQ(s.tasks_never_completed, 2);
+  EXPECT_DOUBLE_EQ(s.mean_leg_distance, 0.0);
+}
+
+TEST(TraceAnalysis, UnknownTaskRejected) {
+  const model::World w = trace_world();
+  EventLog log(true);
+  log.record({1, 0, 7, 1.0, 1.0});
+  EXPECT_THROW(task_timelines(w, log), Error);
+}
+
+TEST(TraceAnalysis, ConsistentWithSimulatorLedgers) {
+  sim::ScenarioParams params;
+  params.num_users = 40;
+  params.num_tasks = 10;
+  Rng rng(11);
+  model::World world = generate_world(params, rng);
+  auto mech = std::make_unique<incentive::OnDemandMechanism>(
+      incentive::DemandIndicator::with_paper_defaults(),
+      incentive::DemandLevelScale(5), incentive::RewardRule(0.5, 0.5, 5));
+  auto sel = select::make_selector(select::SelectorKind::kGreedy);
+  SimulatorParams sp;
+  sp.record_events = true;
+  Simulator s(std::move(world), std::move(mech), std::move(sel), sp);
+  s.run();
+
+  const auto timelines = task_timelines(s.world(), s.events());
+  for (const TaskTimeline& t : timelines) {
+    const model::Task& task = s.world().task(t.task);
+    EXPECT_EQ(t.measurements, task.received());
+    EXPECT_NEAR(t.total_paid, task.total_paid(), 1e-9);
+    if (task.completed()) {
+      EXPECT_GT(t.completed_round, 0);
+      EXPECT_LE(t.completed_round, task.deadline());
+    } else {
+      EXPECT_EQ(t.completed_round, 0);
+    }
+    if (task.received() > 0) {
+      EXPECT_GE(t.first_measurement, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::sim
