@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification:
+#   1. the full build + test suite (ROADMAP.md's canonical command), then
+#   2. the concurrency-sensitive suites — thread pool, parallel runner
+#      determinism, simulator — rebuilt and rerun under ThreadSanitizer so
+#      data races in the pool or the repetition merge path fail loudly.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "tier1: skipping ThreadSanitizer stage"
+  exit 0
+fi
+
+cmake -B build-tsan -S . -DMCS_TSAN=ON
+cmake --build build-tsan -j "${JOBS}" --target test_common test_integration test_sim
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
+  -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator'
+echo "tier1: OK (full suite + TSan concurrency suites)"

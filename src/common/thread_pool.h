@@ -1,0 +1,71 @@
+// A small fixed-size worker pool plus a deterministic-friendly
+// parallel_for_each.
+//
+// The experiment harness runs many fully independent repetitions (each a
+// pure function of its seed); parallel_for_each fans such index spaces out
+// across workers while the caller keeps results order-independent by
+// writing into per-index slots and merging on its own thread afterwards —
+// that discipline is what keeps parallel aggregates bit-identical to the
+// serial run regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcs {
+
+/// Resolve a requested worker count: 0 means one worker per hardware
+/// thread (at least 1 when the runtime cannot tell), n >= 1 means exactly
+/// n. Negative requests are an error.
+int resolve_threads(int requested);
+
+/// Fixed-size pool of worker threads draining a FIFO task queue. Tasks must
+/// not throw (wrap work that can fail and capture the error yourself;
+/// parallel_for_each below does exactly that). Destruction drains the queue
+/// and joins the workers.
+class ThreadPool {
+ public:
+  /// `threads` follows resolve_threads(): 0 = hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable has_work_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(0) .. fn(n-1), concurrently on up to `threads` workers
+/// (resolve_threads() semantics; threads = 1 or n <= 1 runs inline on the
+/// calling thread without spawning anything — the serial path). Blocks until
+/// every index finished. Indices are claimed dynamically, so execution order
+/// is unspecified: callers needing deterministic output must write results
+/// into per-index slots and combine them after this returns. If fn throws,
+/// remaining unclaimed indices are abandoned and the first exception is
+/// rethrown on the calling thread.
+void parallel_for_each(int threads, std::size_t n,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace mcs

@@ -1,11 +1,27 @@
 #include "exp/figures.h"
 
+#include <cstdlib>
 #include <iostream>
 
 #include "common/error.h"
 #include "common/strings.h"
 
 namespace mcs::exp {
+
+namespace {
+
+// Default worker count when no --threads flag is given: the MCS_THREADS
+// environment variable if set, otherwise 0 (one worker per hardware
+// thread). Thread count never changes results — aggregates are
+// bit-identical to the serial run — so auto-parallel is a safe default.
+int threads_default_from_env() {
+  const char* env = std::getenv("MCS_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed < 0 ? 0 : static_cast<int>(parsed);
+}
+
+}  // namespace
 
 ExperimentConfig experiment_from_config(const Config& cfg) {
   ExperimentConfig e;
@@ -45,6 +61,9 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   e.max_rounds = static_cast<Round>(cfg.get_int("rounds", e.max_rounds));
   e.repetitions = static_cast<int>(cfg.get_int("reps", e.repetitions));
   e.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  e.threads =
+      static_cast<int>(cfg.get_int("threads", threads_default_from_env()));
+  MCS_CHECK(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
   return e;
 }
 
@@ -171,7 +190,10 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " selector=" << select::selector_name(cfg.selector)
             << " dp-cap=" << cfg.dp_candidate_cap
             << " rounds=" << cfg.max_rounds << " reps=" << cfg.repetitions
-            << " seed=" << cfg.seed << "\n\n";
+            << " seed=" << cfg.seed << " threads="
+            << (cfg.threads == 0 ? std::string("auto")
+                                 : std::to_string(cfg.threads))
+            << "\n\n";
 }
 
 void warn_unconsumed(const Config& cfg) {

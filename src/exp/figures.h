@@ -17,7 +17,9 @@ namespace mcs::exp {
 /// are the paper's §VI values). Recognized keys include: users, tasks,
 /// area, required, deadline-min/max, budget, lambda, levels, radius,
 /// user-budget-min/max, speed, cost-per-meter, mechanism, selector, dp-cap,
-/// rounds, reps, seed.
+/// rounds, reps, seed, threads (0 = one worker per hardware thread; the
+/// MCS_THREADS environment variable supplies the default when the flag is
+/// absent — results are bit-identical whatever the value).
 ExperimentConfig experiment_from_config(const Config& cfg);
 
 /// The "users 40..140 step 20" x-axis of Figs. 6–9, overridable with

@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mcs::exp {
 
@@ -29,14 +30,6 @@ sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
                         sim::make_mobility(cfg.mobility, cfg.drift_sigma));
 }
 
-std::uint64_t rep_seed(const ExperimentConfig& cfg, int rep) {
-  // Spread repetition seeds with SplitMix so neighboring reps do not share
-  // low-bit structure.
-  SplitMix64 sm(cfg.seed + 0x9e3779b97f4a7c15ULL *
-                               static_cast<std::uint64_t>(rep + 1));
-  return sm.next();
-}
-
 RepetitionResult run_one(const ExperimentConfig& cfg, std::uint64_t seed,
                          const MechanismFactory* factory) {
   sim::Simulator simulator =
@@ -50,6 +43,18 @@ RepetitionResult run_one(const ExperimentConfig& cfg, std::uint64_t seed,
 AggregateResult aggregate(const ExperimentConfig& cfg,
                           const MechanismFactory* factory) {
   MCS_CHECK(cfg.repetitions >= 1, "need at least one repetition");
+
+  // Repetitions are fully independent (each a pure function of its seed), so
+  // they fan out across workers into slots indexed by rep; the merge below
+  // then runs on this thread in repetition order, making the aggregate
+  // bit-identical to the serial threads=1 run whatever the thread count.
+  const auto reps = static_cast<std::size_t>(cfg.repetitions);
+  std::vector<RepetitionResult> results(reps);
+  parallel_for_each(cfg.threads, reps, [&](std::size_t rep) {
+    results[rep] =
+        run_one(cfg, repetition_seed(cfg, static_cast<int>(rep)), factory);
+  });
+
   AggregateResult agg;
   const auto rounds = static_cast<std::size_t>(cfg.max_rounds);
   agg.round_new_measurements.resize(rounds);
@@ -58,8 +63,7 @@ AggregateResult aggregate(const ExperimentConfig& cfg,
   agg.round_mean_profit.resize(rounds);
   agg.round_mean_reward.resize(rounds);
 
-  for (int rep = 0; rep < cfg.repetitions; ++rep) {
-    const RepetitionResult r = run_one(cfg, rep_seed(cfg, rep), factory);
+  for (const RepetitionResult& r : results) {
     agg.coverage.add(r.campaign.coverage_pct);
     agg.completeness.add(r.campaign.completeness_pct);
     agg.tasks_completed.add(r.campaign.tasks_completed_pct);
@@ -83,10 +87,13 @@ AggregateResult aggregate(const ExperimentConfig& cfg,
         agg.round_mean_profit[k].add(rm.mean_user_profit);
         agg.round_mean_reward[k].add(rm.mean_open_reward);
       } else {
-        // Campaign closed early: no further activity.
+        // Campaign closed early: no further activity (and no further
+        // prices — a closed campaign is excluded from the mean-reward
+        // aggregate rather than dragged in as a zero-price round; the
+        // per-round RunningStats count tracks how many campaigns were
+        // still live).
         agg.round_new_measurements[k].add(0.0);
         agg.round_mean_profit[k].add(0.0);
-        agg.round_mean_reward[k].add(0.0);
       }
       agg.round_coverage[k].add(last_cov);
       agg.round_completeness[k].add(last_compl);
@@ -102,6 +109,15 @@ RepetitionResult run_repetition(const ExperimentConfig& cfg,
   return run_one(cfg, seed, nullptr);
 }
 
+std::uint64_t repetition_seed(const ExperimentConfig& cfg, int rep) {
+  MCS_CHECK(rep >= 0, "repetition index must be non-negative");
+  // Spread repetition seeds with SplitMix so neighboring reps do not share
+  // low-bit structure.
+  SplitMix64 sm(cfg.seed + 0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(rep + 1));
+  return sm.next();
+}
+
 AggregateResult run_experiment(const ExperimentConfig& cfg) {
   return aggregate(cfg, nullptr);
 }
@@ -114,21 +130,39 @@ AggregateResult run_experiment_with(const ExperimentConfig& cfg,
 DpVsGreedyResult run_dp_vs_greedy(const ExperimentConfig& cfg, Round at_round) {
   MCS_CHECK(at_round >= 1 && at_round <= cfg.max_rounds,
             "comparison round out of range");
-  DpVsGreedyResult out;
+  MCS_CHECK(cfg.repetitions >= 1, "need at least one repetition");
   const auto dp = select::make_selector(select::SelectorKind::kDp,
                                         cfg.dp_candidate_cap);
   const auto greedy = select::make_selector(select::SelectorKind::kGreedy);
-  for (int rep = 0; rep < cfg.repetitions; ++rep) {
-    const std::uint64_t seed = rep_seed(cfg, rep);
+
+  // Same fan-out/ordered-merge scheme as aggregate(): each repetition fills
+  // its own slot of per-user profit pairs, then the stats accumulate in
+  // repetition order. TaskSelector::select is const and stateless, so the
+  // two shared solvers are safe to call from every worker.
+  struct RepProfits {
+    std::vector<Money> dp;
+    std::vector<Money> greedy;
+  };
+  const auto reps = static_cast<std::size_t>(cfg.repetitions);
+  std::vector<RepProfits> per_rep(reps);
+  parallel_for_each(cfg.threads, reps, [&](std::size_t rep) {
+    const std::uint64_t seed = repetition_seed(cfg, static_cast<int>(rep));
     sim::Simulator simulator =
         build_simulator(cfg, seed, select::SelectorKind::kDp, nullptr);
     for (Round k = 1; k < at_round; ++k) simulator.step();
+    RepProfits& slot = per_rep[rep];
     for (const select::SelectionInstance& inst : simulator.peek_instances()) {
-      const Money dp_profit = dp->select(inst).profit();
-      const Money gr_profit = greedy->select(inst).profit();
-      out.dp_profit.add(dp_profit);
-      out.greedy_profit.add(gr_profit);
-      out.differences.push_back(dp_profit - gr_profit);
+      slot.dp.push_back(dp->select(inst).profit());
+      slot.greedy.push_back(greedy->select(inst).profit());
+    }
+  });
+
+  DpVsGreedyResult out;
+  for (const RepProfits& r : per_rep) {
+    for (std::size_t i = 0; i < r.dp.size(); ++i) {
+      out.dp_profit.add(r.dp[i]);
+      out.greedy_profit.add(r.greedy[i]);
+      out.differences.push_back(r.dp[i] - r.greedy[i]);
     }
   }
   return out;

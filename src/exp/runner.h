@@ -29,6 +29,12 @@ struct ExperimentConfig {
   Round max_rounds = 15;
   int repetitions = 20;
   std::uint64_t seed = 42;
+  // Worker threads for the repetition fan-out: 0 = one per hardware thread,
+  // 1 = run everything on the caller's thread (the serial path), n = exactly
+  // n workers. Repetitions are independent seeded streams and results are
+  // merged in repetition order, so every aggregate is bit-identical whatever
+  // this is set to. Benches expose it as --threads / MCS_THREADS.
+  int threads = 0;
 };
 
 struct RepetitionResult {
@@ -41,9 +47,19 @@ struct RepetitionResult {
 RepetitionResult run_repetition(const ExperimentConfig& cfg,
                                 std::uint64_t seed);
 
+/// The deterministic seed of repetition `rep`: an independent SplitMix64
+/// stream per repetition derived from cfg.seed. This is exactly the seed
+/// run_experiment feeds to repetition `rep`, exposed so tests can assert
+/// stream independence and callers can re-run a single repetition.
+std::uint64_t repetition_seed(const ExperimentConfig& cfg, int rep);
+
 /// Aggregates over repetitions. Round series are padded to max_rounds: a
 /// campaign that closed early contributes zero new measurements and its
-/// final coverage/completeness to the remaining rounds.
+/// final coverage/completeness to the remaining rounds. Exception: the
+/// mean-reward series — a closed campaign publishes no prices, so closed
+/// rounds are excluded from round_mean_reward instead of being counted as
+/// zero-price rounds (each RunningStats carries its own per-round sample
+/// count; count() < repetitions on rounds some campaigns never reached).
 struct AggregateResult {
   RunningStats coverage;
   RunningStats completeness;
@@ -60,7 +76,8 @@ struct AggregateResult {
   std::vector<RunningStats> round_coverage;
   std::vector<RunningStats> round_completeness;
   std::vector<RunningStats> round_mean_profit;
-  std::vector<RunningStats> round_mean_reward;  // mean published reward
+  // Mean published reward; live campaigns only (see aggregation note above).
+  std::vector<RunningStats> round_mean_reward;
 };
 
 AggregateResult run_experiment(const ExperimentConfig& cfg);
@@ -68,7 +85,9 @@ AggregateResult run_experiment(const ExperimentConfig& cfg);
 /// Builds the incentive mechanism for one repetition; `rng` is that
 /// repetition's mechanism stream. Lets ablation studies inject mechanisms
 /// the MechanismKind enum does not cover (custom weights, custom level
-/// counts, ...).
+/// counts, ...). With cfg.threads != 1 repetitions run concurrently, so the
+/// factory must be safe to call from multiple threads at once (stateless
+/// factories — build from the arguments, capture only immutable data — are).
 using MechanismFactory =
     std::function<std::unique_ptr<incentive::IncentiveMechanism>(
         const model::World& world, Rng& rng)>;

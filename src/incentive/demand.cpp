@@ -79,14 +79,17 @@ double DemandIndicator::demand(const model::Task& task, Round k, int neighbors,
 
 std::vector<double> DemandIndicator::demands(const model::World& world,
                                              Round k) const {
+  // neighbor_counts() is one entry per task *position*; index by position
+  // (task ids need not be dense or equal to their vector index).
   const std::vector<int> counts = world.neighbor_counts();
+  MCS_CHECK(counts.size() == world.num_tasks(),
+            "one neighbor count per task");
   const int max_neighbors =
       counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
   std::vector<double> out;
   out.reserve(world.num_tasks());
-  for (const model::Task& t : world.tasks()) {
-    out.push_back(demand(t, k, counts[static_cast<std::size_t>(t.id())],
-                         max_neighbors));
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    out.push_back(demand(world.tasks()[i], k, counts[i], max_neighbors));
   }
   return out;
 }

@@ -31,9 +31,11 @@ struct RoundMetrics {
   int active_users = 0;             // users who performed >= 1 task
   std::vector<Money> user_profit;   // profit of every user this round
   Money mean_user_profit = 0.0;
-  // Mean published reward over the tasks open at round start (round-start
-  // snapshot for intra-round mechanisms); 0 when nothing is open. Feeds the
-  // reward-dynamics diagnostic bench.
+  // Mean reward actually published to this round's users: the round-start
+  // price over open tasks for round-granularity mechanisms; for mechanisms
+  // that reprice within the round (updates_within_round()), the mean of the
+  // per-session published prices averaged over the round's user sessions.
+  // 0 when nothing is open. Feeds the reward-dynamics diagnostic bench.
   Money mean_open_reward = 0.0;
   int open_tasks = 0;
 };

@@ -102,12 +102,21 @@ const RoundMetrics& Simulator::step() {
   RoundMetrics rm;
   rm.round = k;
   rm.user_profit.assign(world_.num_users(), 0.0);
+  // Round-start snapshot of the published prices. For round-granularity
+  // mechanisms these are exactly the prices every user of the round faces;
+  // intra-round mechanisms reprice before each session, so their published
+  // mean is re-recorded from the session prices below.
   for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
     if (!open[i]) continue;
     rm.mean_open_reward += mechanism_->reward(static_cast<TaskId>(i));
     ++rm.open_tasks;
   }
   if (rm.open_tasks > 0) rm.mean_open_reward /= rm.open_tasks;
+
+  // Intra-round price recording: mean published price per user session,
+  // averaged over the sessions that had at least one priced task.
+  double session_mean_sum = 0.0;
+  int priced_sessions = 0;
 
   const long long before = world_.total_received();
   const Money paid_before = budget_.spent();
@@ -125,7 +134,24 @@ const RoundMetrics& Simulator::step() {
     u.set_location(
         mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
 
-    if (intra_round) mechanism_->update_rewards(world_, k);
+    if (intra_round) {
+      mechanism_->update_rewards(world_, k);
+      // What this session was actually offered: the round's open tasks at
+      // their freshly published prices (price 0 = withdrawn, not published).
+      double session_sum = 0.0;
+      int session_open = 0;
+      for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
+        if (!open[i]) continue;
+        const Money reward = mechanism_->reward(static_cast<TaskId>(i));
+        if (reward <= 0.0) continue;
+        session_sum += reward;
+        ++session_open;
+      }
+      if (session_open > 0) {
+        session_mean_sum += session_sum / session_open;
+        ++priced_sessions;
+      }
+    }
 
     const select::SelectionInstance inst = make_instance(
         world_, *mechanism_, u, open, u.location(), u.time_budget());
@@ -153,6 +179,12 @@ const RoundMetrics& Simulator::step() {
     u.add_earnings(reward_earned, cost);
     rm.user_profit[static_cast<std::size_t>(uid)] = reward_earned - cost;
     if (!sel.order.empty()) ++rm.active_users;
+  }
+
+  // For intra-round mechanisms the round-start snapshot is not what users
+  // were offered; replace it with the mean over the session prices.
+  if (intra_round && priced_sessions > 0) {
+    rm.mean_open_reward = session_mean_sum / priced_sessions;
   }
 
   // (5) Round bookkeeping; the next update_rewards() call recomputes

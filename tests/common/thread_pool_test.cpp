@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+  EXPECT_GE(resolve_threads(0), 1);  // hardware concurrency, at least one
+  EXPECT_THROW(resolve_threads(-1), Error);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&hits] { hits.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(hits.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&hits] { hits.fetch_add(1); });
+    // no wait_idle(): the destructor must still run everything.
+  }
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing queued: must not block
+}
+
+TEST(ParallelForEach, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> visits(97);
+    parallel_for_each(threads, visits.size(),
+                      [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForEach, SlotWritesAssembleInOrder) {
+  // The runner's pattern: workers fill slot[i], the caller merges in order.
+  std::vector<int> slots(64, -1);
+  parallel_for_each(4, slots.size(),
+                    [&](std::size_t i) { slots[i] = static_cast<int>(i * i); });
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelForEach, ZeroAndOneIndexRunInline) {
+  int calls = 0;
+  parallel_for_each(8, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for_each(8, 1, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForEach, FirstExceptionPropagates) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for_each(threads, 32,
+                          [](std::size_t i) {
+                            if (i == 7) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelForEach, StopsClaimingAfterFailure) {
+  // After an index throws, workers stop pulling new indices; with a serial
+  // run the abort is immediate, so indices past the failing one never run.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for_each(1, 1000,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace
+}  // namespace mcs

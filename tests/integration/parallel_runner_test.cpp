@@ -1,0 +1,199 @@
+// Determinism of the parallel experiment runner: fanning repetitions out
+// across a thread pool must not change a single bit of any aggregate, the
+// per-repetition seed streams must never collide, and the round-metric
+// aggregation fixes (early-close exclusion from the mean-reward series)
+// stay pinned.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/runner.h"
+
+namespace mcs::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.num_users = 40;
+  cfg.scenario.num_tasks = 10;
+  cfg.scenario.required_measurements = 8;
+  cfg.repetitions = 6;
+  cfg.max_rounds = 10;
+  cfg.selector = select::SelectorKind::kGreedy;
+  cfg.threads = 1;
+  return cfg;
+}
+
+void expect_stats_identical(const RunningStats& a, const RunningStats& b,
+                            const char* what) {
+  ASSERT_EQ(a.count(), b.count()) << what;
+  // Bit-identical, not approximately equal: EXPECT_EQ on doubles.
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  if (a.count() > 0) {
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+}
+
+void expect_aggregate_identical(const AggregateResult& a,
+                                const AggregateResult& b) {
+  expect_stats_identical(a.coverage, b.coverage, "coverage");
+  expect_stats_identical(a.completeness, b.completeness, "completeness");
+  expect_stats_identical(a.tasks_completed, b.tasks_completed,
+                         "tasks_completed");
+  expect_stats_identical(a.avg_measurements, b.avg_measurements,
+                         "avg_measurements");
+  expect_stats_identical(a.measurement_variance, b.measurement_variance,
+                         "measurement_variance");
+  expect_stats_identical(a.reward_per_measurement, b.reward_per_measurement,
+                         "reward_per_measurement");
+  expect_stats_identical(a.total_paid, b.total_paid, "total_paid");
+  expect_stats_identical(a.overdraft, b.overdraft, "overdraft");
+  expect_stats_identical(a.reward_gini, b.reward_gini, "reward_gini");
+  expect_stats_identical(a.reward_jain, b.reward_jain, "reward_jain");
+  expect_stats_identical(a.active_fraction, b.active_fraction,
+                         "active_fraction");
+  ASSERT_EQ(a.round_new_measurements.size(), b.round_new_measurements.size());
+  for (std::size_t k = 0; k < a.round_new_measurements.size(); ++k) {
+    expect_stats_identical(a.round_new_measurements[k],
+                           b.round_new_measurements[k], "round_new");
+    expect_stats_identical(a.round_coverage[k], b.round_coverage[k],
+                           "round_coverage");
+    expect_stats_identical(a.round_completeness[k], b.round_completeness[k],
+                           "round_completeness");
+    expect_stats_identical(a.round_mean_profit[k], b.round_mean_profit[k],
+                           "round_mean_profit");
+    expect_stats_identical(a.round_mean_reward[k], b.round_mean_reward[k],
+                           "round_mean_reward");
+  }
+}
+
+TEST(ParallelRunner, ThreadedAggregateBitIdenticalToSerial) {
+  const ExperimentConfig serial = small_config();
+  const AggregateResult base = run_experiment(serial);
+
+  ExperimentConfig threaded = serial;
+  threaded.threads = 4;
+  expect_aggregate_identical(base, run_experiment(threaded));
+
+  ExperimentConfig auto_threads = serial;
+  auto_threads.threads = 0;  // hardware concurrency
+  expect_aggregate_identical(base, run_experiment(auto_threads));
+}
+
+TEST(ParallelRunner, ThreadedAggregateIdenticalAcrossMechanisms) {
+  for (const auto kind :
+       {incentive::MechanismKind::kOnDemand, incentive::MechanismKind::kFixed,
+        incentive::MechanismKind::kSteered}) {
+    ExperimentConfig serial = small_config();
+    serial.mechanism = kind;
+    ExperimentConfig threaded = serial;
+    threaded.threads = 3;
+    expect_aggregate_identical(run_experiment(serial),
+                               run_experiment(threaded));
+  }
+}
+
+TEST(ParallelRunner, ThreadedFactoryRunBitIdenticalToSerial) {
+  ExperimentConfig serial = small_config();
+  const MechanismFactory factory =
+      [&serial](const model::World& world,
+                Rng& rng) -> std::unique_ptr<incentive::IncentiveMechanism> {
+    return incentive::make_mechanism(incentive::MechanismKind::kFixed, world,
+                                     serial.mech_params, rng);
+  };
+  ExperimentConfig threaded = serial;
+  threaded.threads = 4;
+  expect_aggregate_identical(run_experiment_with(serial, factory),
+                             run_experiment_with(threaded, factory));
+}
+
+TEST(ParallelRunner, DpVsGreedyBitIdenticalAcrossThreadCounts) {
+  ExperimentConfig serial = small_config();
+  serial.scenario.user_budget_min_s = 900.0;
+  serial.scenario.user_budget_max_s = 1800.0;
+  ExperimentConfig threaded = serial;
+  threaded.threads = 4;
+  const DpVsGreedyResult a = run_dp_vs_greedy(serial, /*at_round=*/2);
+  const DpVsGreedyResult b = run_dp_vs_greedy(threaded, /*at_round=*/2);
+  expect_stats_identical(a.dp_profit, b.dp_profit, "dp_profit");
+  expect_stats_identical(a.greedy_profit, b.greedy_profit, "greedy_profit");
+  EXPECT_EQ(a.differences, b.differences);
+}
+
+TEST(ParallelRunner, MoreThreadsThanRepetitionsIsFine) {
+  ExperimentConfig cfg = small_config();
+  cfg.repetitions = 2;
+  ExperimentConfig threaded = cfg;
+  threaded.threads = 16;
+  expect_aggregate_identical(run_experiment(cfg), run_experiment(threaded));
+}
+
+TEST(ParallelRunner, RepetitionSeedsDoNotCollide) {
+  const ExperimentConfig cfg = small_config();
+  std::set<std::uint64_t> seeds;
+  for (int rep = 0; rep < 10000; ++rep) {
+    EXPECT_TRUE(seeds.insert(repetition_seed(cfg, rep)).second)
+        << "seed collision at rep " << rep;
+  }
+  // Distinct base seeds open distinct streams.
+  ExperimentConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_NE(repetition_seed(cfg, 0), repetition_seed(other, 0));
+  // And repetition_seed(rep) is exactly what run_experiment uses.
+  ExperimentConfig one = cfg;
+  one.repetitions = 1;
+  const AggregateResult agg = run_experiment(one);
+  const RepetitionResult rep0 = run_repetition(one, repetition_seed(one, 0));
+  EXPECT_EQ(agg.total_paid.mean(), rep0.campaign.total_paid);
+}
+
+TEST(ParallelRunner, EarlyClosedRoundsExcludedFromMeanReward) {
+  // A generous scenario finishes before max_rounds; the closed tail must be
+  // excluded from the mean-reward aggregate (not averaged in as $0 rounds)
+  // while activity series keep their zero-padding.
+  ExperimentConfig cfg = small_config();
+  cfg.scenario.num_users = 120;
+  cfg.scenario.user_budget_min_s = 2000.0;
+  cfg.scenario.user_budget_max_s = 3000.0;
+  cfg.repetitions = 1;
+  const RepetitionResult rep = run_repetition(cfg, repetition_seed(cfg, 0));
+  ASSERT_LT(rep.rounds.size(), 10u) << "scenario unexpectedly ran long";
+  const AggregateResult agg = run_experiment(cfg);
+  for (std::size_t k = 0; k < 10; ++k) {
+    if (k < rep.rounds.size()) {
+      EXPECT_EQ(agg.round_mean_reward[k].count(), 1u);
+      EXPECT_EQ(agg.round_mean_reward[k].mean(),
+                rep.rounds[k].mean_open_reward);
+    } else {
+      // Closed round: no sample, and the padded activity series still count.
+      EXPECT_EQ(agg.round_mean_reward[k].count(), 0u);
+      EXPECT_EQ(agg.round_new_measurements[k].count(), 1u);
+      EXPECT_EQ(agg.round_new_measurements[k].mean(), 0.0);
+      EXPECT_EQ(agg.round_mean_profit[k].count(), 1u);
+    }
+  }
+}
+
+TEST(ParallelRunner, MeanRewardAveragesOnlyLiveCampaigns) {
+  // Mix a long campaign with a short one: on rounds only the long one
+  // reaches, the aggregate must equal the long campaign's value alone.
+  ExperimentConfig cfg = small_config();
+  cfg.repetitions = 2;
+  const RepetitionResult r0 = run_repetition(cfg, repetition_seed(cfg, 0));
+  const RepetitionResult r1 = run_repetition(cfg, repetition_seed(cfg, 1));
+  const AggregateResult agg = run_experiment(cfg);
+  const std::size_t shorter = std::min(r0.rounds.size(), r1.rounds.size());
+  const std::size_t longer = std::max(r0.rounds.size(), r1.rounds.size());
+  const RepetitionResult& long_rep =
+      r0.rounds.size() >= r1.rounds.size() ? r0 : r1;
+  for (std::size_t k = shorter; k < longer; ++k) {
+    EXPECT_EQ(agg.round_mean_reward[k].count(), 1u);
+    EXPECT_EQ(agg.round_mean_reward[k].mean(),
+              long_rep.rounds[k].mean_open_reward);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -58,10 +58,13 @@ TEST(RegressionPin, SteeredDefaultCampaign) {
   const sim::CampaignMetrics& m = r.campaign;
   EXPECT_GE(m.coverage_pct, 95.0);
   EXPECT_LE(m.completeness_pct, 70.0);  // the paper's "steered is worst"
-  // First-round reward is the full 2.5 for the first users; mean published
-  // reward at round 1 must be exactly Rc + mu*delta.
+  // Steered reprices before every user session: the first users of round 1
+  // see the full Rc + mu*delta = 2.5 and the price only decays as their
+  // measurements arrive, so the mean *published* reward of round 1 sits
+  // strictly inside (Rc, Rc + mu*delta).
   ASSERT_FALSE(r.rounds.empty());
-  EXPECT_NEAR(r.rounds[0].mean_open_reward, 2.5, 1e-9);
+  EXPECT_LT(r.rounds[0].mean_open_reward, 2.5);
+  EXPECT_GT(r.rounds[0].mean_open_reward, 0.5);
 }
 
 TEST(RegressionPin, MechanismOrderingHoldsOnDefaults) {

@@ -188,6 +188,34 @@ TEST(Simulator, MeanOpenRewardTracksPublishedPrices) {
   EXPECT_EQ(rm2.open_tasks, 1);
 }
 
+// Prices ramp 1, 2, 3, ... on every update_rewards() call and the mechanism
+// reprices before each user session — a minimal intra-round mechanism with
+// exactly predictable published prices.
+class RampMechanism final : public incentive::IncentiveMechanism {
+ public:
+  const char* name() const override { return "ramp"; }
+  bool updates_within_round() const override { return true; }
+  void update_rewards(const model::World& world, Round) override {
+    rewards_.assign(world.num_tasks(), next_price_);
+    next_price_ += 1.0;
+  }
+
+ private:
+  Money next_price_ = 1.0;
+};
+
+TEST(Simulator, IntraRoundMeanRewardAveragesSessionPrices) {
+  // Round 1 publishes $1 at round start, then reprices to $2/$3/$4 before
+  // the three user sessions. The recorded mean must be what users were
+  // actually offered — the session average $3 — not the $1 start snapshot.
+  auto sel = select::make_selector(select::SelectorKind::kGreedy);
+  Simulator s(tiny_world(), std::make_unique<RampMechanism>(), std::move(sel),
+              {});
+  const RoundMetrics& rm = s.step();
+  EXPECT_EQ(rm.open_tasks, 2);  // the round-start snapshot is unchanged
+  EXPECT_DOUBLE_EQ(rm.mean_open_reward, 3.0);
+}
+
 TEST(Simulator, ConstructionValidation) {
   auto sel = select::make_selector(select::SelectorKind::kGreedy);
   EXPECT_THROW(Simulator(tiny_world(), nullptr, std::move(sel), {}), Error);
