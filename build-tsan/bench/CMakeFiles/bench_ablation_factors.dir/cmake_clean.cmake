@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_factors.dir/bench_ablation_factors.cpp.o"
+  "CMakeFiles/bench_ablation_factors.dir/bench_ablation_factors.cpp.o.d"
+  "bench_ablation_factors"
+  "bench_ablation_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ahp_tables.dir/bench_ahp_tables.cpp.o"
+  "CMakeFiles/bench_ahp_tables.dir/bench_ahp_tables.cpp.o.d"
+  "bench_ahp_tables"
+  "bench_ahp_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ahp_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

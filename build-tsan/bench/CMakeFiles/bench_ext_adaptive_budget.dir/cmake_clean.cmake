@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_budget.dir/bench_ext_adaptive_budget.cpp.o"
+  "CMakeFiles/bench_ext_adaptive_budget.dir/bench_ext_adaptive_budget.cpp.o.d"
+  "bench_ext_adaptive_budget"
+  "bench_ext_adaptive_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mobility.dir/bench_ext_mobility.cpp.o"
+  "CMakeFiles/bench_ext_mobility.dir/bench_ext_mobility.cpp.o.d"
+  "bench_ext_mobility"
+  "bench_ext_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dp_vs_greedy.dir/bench_fig5_dp_vs_greedy.cpp.o"
+  "CMakeFiles/bench_fig5_dp_vs_greedy.dir/bench_fig5_dp_vs_greedy.cpp.o.d"
+  "bench_fig5_dp_vs_greedy"
+  "bench_fig5_dp_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dp_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_completeness.dir/bench_fig7_completeness.cpp.o"
+  "CMakeFiles/bench_fig7_completeness.dir/bench_fig7_completeness.cpp.o.d"
+  "bench_fig7_completeness"
+  "bench_fig7_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_measurements.dir/bench_fig8_measurements.cpp.o"
+  "CMakeFiles/bench_fig8_measurements.dir/bench_fig8_measurements.cpp.o.d"
+  "bench_fig8_measurements"
+  "bench_fig8_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

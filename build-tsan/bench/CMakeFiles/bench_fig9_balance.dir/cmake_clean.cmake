@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_balance.dir/bench_fig9_balance.cpp.o"
+  "CMakeFiles/bench_fig9_balance.dir/bench_fig9_balance.cpp.o.d"
+  "bench_fig9_balance"
+  "bench_fig9_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_significance.dir/bench_significance.cpp.o"
+  "CMakeFiles/bench_significance.dir/bench_significance.cpp.o.d"
+  "bench_significance"
+  "bench_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_index.dir/bench_spatial_index.cpp.o"
+  "CMakeFiles/bench_spatial_index.dir/bench_spatial_index.cpp.o.d"
+  "bench_spatial_index"
+  "bench_spatial_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_quality_campaign.dir/air_quality_campaign.cpp.o"
+  "CMakeFiles/air_quality_campaign.dir/air_quality_campaign.cpp.o.d"
+  "air_quality_campaign"
+  "air_quality_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_quality_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

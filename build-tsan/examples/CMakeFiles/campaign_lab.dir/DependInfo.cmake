@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/campaign_lab.cpp" "examples/CMakeFiles/campaign_lab.dir/campaign_lab.cpp.o" "gcc" "examples/CMakeFiles/campaign_lab.dir/campaign_lab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ahp/CMakeFiles/mcs_ahp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/mcs_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/incentive/CMakeFiles/mcs_incentive.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/select/CMakeFiles/mcs_select.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sat/CMakeFiles/mcs_sat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exp/CMakeFiles/mcs_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

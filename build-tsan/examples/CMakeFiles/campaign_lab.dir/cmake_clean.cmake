@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_lab.dir/campaign_lab.cpp.o"
+  "CMakeFiles/campaign_lab.dir/campaign_lab.cpp.o.d"
+  "campaign_lab"
+  "campaign_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_mechanism.dir/custom_mechanism.cpp.o"
+  "CMakeFiles/custom_mechanism.dir/custom_mechanism.cpp.o.d"
+  "custom_mechanism"
+  "custom_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_vs_wst.dir/sat_vs_wst.cpp.o"
+  "CMakeFiles/sat_vs_wst.dir/sat_vs_wst.cpp.o.d"
+  "sat_vs_wst"
+  "sat_vs_wst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_vs_wst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

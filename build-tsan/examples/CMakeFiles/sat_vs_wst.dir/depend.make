@@ -1,0 +1,2 @@
+# Empty dependencies file for sat_vs_wst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_quality.dir/sensing_quality.cpp.o"
+  "CMakeFiles/sensing_quality.dir/sensing_quality.cpp.o.d"
+  "sensing_quality"
+  "sensing_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ahp/comparison_matrix.cpp" "src/ahp/CMakeFiles/mcs_ahp.dir/comparison_matrix.cpp.o" "gcc" "src/ahp/CMakeFiles/mcs_ahp.dir/comparison_matrix.cpp.o.d"
+  "/root/repo/src/ahp/consistency.cpp" "src/ahp/CMakeFiles/mcs_ahp.dir/consistency.cpp.o" "gcc" "src/ahp/CMakeFiles/mcs_ahp.dir/consistency.cpp.o.d"
+  "/root/repo/src/ahp/hierarchy.cpp" "src/ahp/CMakeFiles/mcs_ahp.dir/hierarchy.cpp.o" "gcc" "src/ahp/CMakeFiles/mcs_ahp.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/ahp/weights.cpp" "src/ahp/CMakeFiles/mcs_ahp.dir/weights.cpp.o" "gcc" "src/ahp/CMakeFiles/mcs_ahp.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_ahp.dir/comparison_matrix.cpp.o"
+  "CMakeFiles/mcs_ahp.dir/comparison_matrix.cpp.o.d"
+  "CMakeFiles/mcs_ahp.dir/consistency.cpp.o"
+  "CMakeFiles/mcs_ahp.dir/consistency.cpp.o.d"
+  "CMakeFiles/mcs_ahp.dir/hierarchy.cpp.o"
+  "CMakeFiles/mcs_ahp.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mcs_ahp.dir/weights.cpp.o"
+  "CMakeFiles/mcs_ahp.dir/weights.cpp.o.d"
+  "libmcs_ahp.a"
+  "libmcs_ahp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_ahp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_common.dir/config.cpp.o"
+  "CMakeFiles/mcs_common.dir/config.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/csv.cpp.o"
+  "CMakeFiles/mcs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/json.cpp.o"
+  "CMakeFiles/mcs_common.dir/json.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/log.cpp.o"
+  "CMakeFiles/mcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/rng.cpp.o"
+  "CMakeFiles/mcs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/significance.cpp.o"
+  "CMakeFiles/mcs_common.dir/significance.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/stats.cpp.o"
+  "CMakeFiles/mcs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/strings.cpp.o"
+  "CMakeFiles/mcs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcs_common.dir/thread_pool.cpp.o.d"
+  "libmcs_common.a"
+  "libmcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

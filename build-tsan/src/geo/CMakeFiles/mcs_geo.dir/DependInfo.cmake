@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/distance.cpp" "src/geo/CMakeFiles/mcs_geo.dir/distance.cpp.o" "gcc" "src/geo/CMakeFiles/mcs_geo.dir/distance.cpp.o.d"
+  "/root/repo/src/geo/kdtree.cpp" "src/geo/CMakeFiles/mcs_geo.dir/kdtree.cpp.o" "gcc" "src/geo/CMakeFiles/mcs_geo.dir/kdtree.cpp.o.d"
+  "/root/repo/src/geo/path.cpp" "src/geo/CMakeFiles/mcs_geo.dir/path.cpp.o" "gcc" "src/geo/CMakeFiles/mcs_geo.dir/path.cpp.o.d"
+  "/root/repo/src/geo/spatial_grid.cpp" "src/geo/CMakeFiles/mcs_geo.dir/spatial_grid.cpp.o" "gcc" "src/geo/CMakeFiles/mcs_geo.dir/spatial_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

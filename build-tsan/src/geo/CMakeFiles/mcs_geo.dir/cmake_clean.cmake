@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_geo.dir/distance.cpp.o"
+  "CMakeFiles/mcs_geo.dir/distance.cpp.o.d"
+  "CMakeFiles/mcs_geo.dir/kdtree.cpp.o"
+  "CMakeFiles/mcs_geo.dir/kdtree.cpp.o.d"
+  "CMakeFiles/mcs_geo.dir/path.cpp.o"
+  "CMakeFiles/mcs_geo.dir/path.cpp.o.d"
+  "CMakeFiles/mcs_geo.dir/spatial_grid.cpp.o"
+  "CMakeFiles/mcs_geo.dir/spatial_grid.cpp.o.d"
+  "libmcs_geo.a"
+  "libmcs_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/incentive/adaptive_budget_mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/adaptive_budget_mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/adaptive_budget_mechanism.cpp.o.d"
+  "/root/repo/src/incentive/budget.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/budget.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/budget.cpp.o.d"
+  "/root/repo/src/incentive/demand.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/demand.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/demand.cpp.o.d"
+  "/root/repo/src/incentive/demand_level.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/demand_level.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/demand_level.cpp.o.d"
+  "/root/repo/src/incentive/fixed_mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/fixed_mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/fixed_mechanism.cpp.o.d"
+  "/root/repo/src/incentive/mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/mechanism.cpp.o.d"
+  "/root/repo/src/incentive/on_demand_mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/on_demand_mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/on_demand_mechanism.cpp.o.d"
+  "/root/repo/src/incentive/participation_mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/participation_mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/participation_mechanism.cpp.o.d"
+  "/root/repo/src/incentive/reward.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/reward.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/reward.cpp.o.d"
+  "/root/repo/src/incentive/steered_mechanism.cpp" "src/incentive/CMakeFiles/mcs_incentive.dir/steered_mechanism.cpp.o" "gcc" "src/incentive/CMakeFiles/mcs_incentive.dir/steered_mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/mcs_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ahp/CMakeFiles/mcs_ahp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

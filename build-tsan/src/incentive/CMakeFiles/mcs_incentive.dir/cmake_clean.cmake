@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_incentive.dir/adaptive_budget_mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/adaptive_budget_mechanism.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/budget.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/budget.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/demand.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/demand.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/demand_level.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/demand_level.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/fixed_mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/fixed_mechanism.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/mechanism.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/on_demand_mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/on_demand_mechanism.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/participation_mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/participation_mechanism.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/reward.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/reward.cpp.o.d"
+  "CMakeFiles/mcs_incentive.dir/steered_mechanism.cpp.o"
+  "CMakeFiles/mcs_incentive.dir/steered_mechanism.cpp.o.d"
+  "libmcs_incentive.a"
+  "libmcs_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

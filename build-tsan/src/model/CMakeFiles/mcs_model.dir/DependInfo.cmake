@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/task.cpp" "src/model/CMakeFiles/mcs_model.dir/task.cpp.o" "gcc" "src/model/CMakeFiles/mcs_model.dir/task.cpp.o.d"
+  "/root/repo/src/model/user.cpp" "src/model/CMakeFiles/mcs_model.dir/user.cpp.o" "gcc" "src/model/CMakeFiles/mcs_model.dir/user.cpp.o.d"
+  "/root/repo/src/model/world.cpp" "src/model/CMakeFiles/mcs_model.dir/world.cpp.o" "gcc" "src/model/CMakeFiles/mcs_model.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

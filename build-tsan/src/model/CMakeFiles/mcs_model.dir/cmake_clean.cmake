@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_model.dir/task.cpp.o"
+  "CMakeFiles/mcs_model.dir/task.cpp.o.d"
+  "CMakeFiles/mcs_model.dir/user.cpp.o"
+  "CMakeFiles/mcs_model.dir/user.cpp.o.d"
+  "CMakeFiles/mcs_model.dir/world.cpp.o"
+  "CMakeFiles/mcs_model.dir/world.cpp.o.d"
+  "libmcs_model.a"
+  "libmcs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

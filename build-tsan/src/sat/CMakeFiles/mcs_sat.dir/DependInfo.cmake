@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/reverse_auction.cpp" "src/sat/CMakeFiles/mcs_sat.dir/reverse_auction.cpp.o" "gcc" "src/sat/CMakeFiles/mcs_sat.dir/reverse_auction.cpp.o.d"
+  "/root/repo/src/sat/sat_round.cpp" "src/sat/CMakeFiles/mcs_sat.dir/sat_round.cpp.o" "gcc" "src/sat/CMakeFiles/mcs_sat.dir/sat_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/mcs_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

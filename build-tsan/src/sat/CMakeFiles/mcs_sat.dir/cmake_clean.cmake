@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sat.dir/reverse_auction.cpp.o"
+  "CMakeFiles/mcs_sat.dir/reverse_auction.cpp.o.d"
+  "CMakeFiles/mcs_sat.dir/sat_round.cpp.o"
+  "CMakeFiles/mcs_sat.dir/sat_round.cpp.o.d"
+  "libmcs_sat.a"
+  "libmcs_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/beam_search_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/beam_search_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/beam_search_selector.cpp.o.d"
+  "/root/repo/src/select/branch_bound_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/branch_bound_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/branch_bound_selector.cpp.o.d"
+  "/root/repo/src/select/brute_force_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/brute_force_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/brute_force_selector.cpp.o.d"
+  "/root/repo/src/select/dp_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/dp_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/dp_selector.cpp.o.d"
+  "/root/repo/src/select/greedy_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/greedy_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/greedy_selector.cpp.o.d"
+  "/root/repo/src/select/ils_selector.cpp" "src/select/CMakeFiles/mcs_select.dir/ils_selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/ils_selector.cpp.o.d"
+  "/root/repo/src/select/instance.cpp" "src/select/CMakeFiles/mcs_select.dir/instance.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/instance.cpp.o.d"
+  "/root/repo/src/select/selector.cpp" "src/select/CMakeFiles/mcs_select.dir/selector.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/selector.cpp.o.d"
+  "/root/repo/src/select/travel_graph.cpp" "src/select/CMakeFiles/mcs_select.dir/travel_graph.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/travel_graph.cpp.o.d"
+  "/root/repo/src/select/two_opt.cpp" "src/select/CMakeFiles/mcs_select.dir/two_opt.cpp.o" "gcc" "src/select/CMakeFiles/mcs_select.dir/two_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/mcs_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_select.dir/beam_search_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/beam_search_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/branch_bound_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/branch_bound_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/brute_force_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/brute_force_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/dp_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/dp_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/greedy_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/greedy_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/ils_selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/ils_selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/instance.cpp.o"
+  "CMakeFiles/mcs_select.dir/instance.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/selector.cpp.o"
+  "CMakeFiles/mcs_select.dir/selector.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/travel_graph.cpp.o"
+  "CMakeFiles/mcs_select.dir/travel_graph.cpp.o.d"
+  "CMakeFiles/mcs_select.dir/two_opt.cpp.o"
+  "CMakeFiles/mcs_select.dir/two_opt.cpp.o.d"
+  "libmcs_select.a"
+  "libmcs_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ascii_map.cpp" "src/sim/CMakeFiles/mcs_sim.dir/ascii_map.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/ascii_map.cpp.o.d"
+  "/root/repo/src/sim/event_log.cpp" "src/sim/CMakeFiles/mcs_sim.dir/event_log.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/event_log.cpp.o.d"
+  "/root/repo/src/sim/fairness.cpp" "src/sim/CMakeFiles/mcs_sim.dir/fairness.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/fairness.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mcs_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/mcs_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/mcs_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/sensing.cpp" "src/sim/CMakeFiles/mcs_sim.dir/sensing.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/sensing.cpp.o.d"
+  "/root/repo/src/sim/serialize.cpp" "src/sim/CMakeFiles/mcs_sim.dir/serialize.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/serialize.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mcs_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_analysis.cpp" "src/sim/CMakeFiles/mcs_sim.dir/trace_analysis.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/mcs_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/incentive/CMakeFiles/mcs_incentive.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/select/CMakeFiles/mcs_select.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ahp/CMakeFiles/mcs_ahp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

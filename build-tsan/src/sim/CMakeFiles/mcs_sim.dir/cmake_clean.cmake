@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/ascii_map.cpp.o"
+  "CMakeFiles/mcs_sim.dir/ascii_map.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/event_log.cpp.o"
+  "CMakeFiles/mcs_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/fairness.cpp.o"
+  "CMakeFiles/mcs_sim.dir/fairness.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mcs_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/mobility.cpp.o"
+  "CMakeFiles/mcs_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mcs_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sensing.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sensing.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/serialize.cpp.o"
+  "CMakeFiles/mcs_sim.dir/serialize.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mcs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/trace_analysis.cpp.o"
+  "CMakeFiles/mcs_sim.dir/trace_analysis.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahp.dir/ahp/comparison_matrix_test.cpp.o"
+  "CMakeFiles/test_ahp.dir/ahp/comparison_matrix_test.cpp.o.d"
+  "CMakeFiles/test_ahp.dir/ahp/consistency_test.cpp.o"
+  "CMakeFiles/test_ahp.dir/ahp/consistency_test.cpp.o.d"
+  "CMakeFiles/test_ahp.dir/ahp/hierarchy_test.cpp.o"
+  "CMakeFiles/test_ahp.dir/ahp/hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_ahp.dir/ahp/random_property_test.cpp.o"
+  "CMakeFiles/test_ahp.dir/ahp/random_property_test.cpp.o.d"
+  "CMakeFiles/test_ahp.dir/ahp/weights_test.cpp.o"
+  "CMakeFiles/test_ahp.dir/ahp/weights_test.cpp.o.d"
+  "test_ahp"
+  "test_ahp.pdb"
+  "test_ahp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/bbox_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/bbox_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/distance_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/distance_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/kdtree_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/kdtree_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/path_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/path_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/point_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/point_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/spatial_grid_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/spatial_grid_test.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+  "test_geo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incentive.dir/incentive/adaptive_budget_mechanism_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/adaptive_budget_mechanism_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/budget_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/budget_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/demand_level_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/demand_level_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/demand_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/demand_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/mechanism_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/mechanism_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/participation_mechanism_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/participation_mechanism_test.cpp.o.d"
+  "CMakeFiles/test_incentive.dir/incentive/reward_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive/reward_test.cpp.o.d"
+  "test_incentive"
+  "test_incentive.pdb"
+  "test_incentive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/figures_io_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/figures_io_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fuzz_invariants_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fuzz_invariants_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/paper_properties_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/paper_properties_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/parallel_runner_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/parallel_runner_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/regression_pin_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/regression_pin_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/runner_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/runner_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat.dir/sat/reverse_auction_test.cpp.o"
+  "CMakeFiles/test_sat.dir/sat/reverse_auction_test.cpp.o.d"
+  "CMakeFiles/test_sat.dir/sat/sat_round_test.cpp.o"
+  "CMakeFiles/test_sat.dir/sat/sat_round_test.cpp.o.d"
+  "test_sat"
+  "test_sat.pdb"
+  "test_sat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

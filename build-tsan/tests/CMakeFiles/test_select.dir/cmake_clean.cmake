@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select.dir/select/beam_search_selector_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/beam_search_selector_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/dp_selector_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/dp_selector_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/greedy_selector_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/greedy_selector_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/ils_selector_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/ils_selector_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/instance_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/instance_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/pathological_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/pathological_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/solver_equivalence_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/solver_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/travel_graph_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/travel_graph_test.cpp.o.d"
+  "CMakeFiles/test_select.dir/select/two_opt_test.cpp.o"
+  "CMakeFiles/test_select.dir/select/two_opt_test.cpp.o.d"
+  "test_select"
+  "test_select.pdb"
+  "test_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/ascii_map_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/ascii_map_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_log_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/event_log_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/fairness_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/fairness_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/mechanism_interplay_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/mechanism_interplay_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/mobility_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/mobility_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/scenario_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/scenario_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/sensing_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/sensing_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/serialize_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/serialize_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_analysis_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/trace_analysis_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

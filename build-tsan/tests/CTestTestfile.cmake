@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_geo[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ahp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_model[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_incentive[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_select[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sat[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
