@@ -1,0 +1,162 @@
+// Extension: fault tolerance of the incentive mechanisms.
+//
+// The paper's evaluation assumes perfectly reliable workers. This bench
+// re-runs the mechanism comparison while the fault layer (sim/faults.h)
+// knocks a fraction of workers offline each round and optionally loses
+// uploads, and asks which mechanism's sensing quality degrades most
+// gracefully. The on-demand mechanism has a built-in recovery path: a lost
+// or undelivered measurement never advances pi_i, so the demand indicator
+// re-inflates the task's reward until somebody actually delivers — fixed
+// rewards have no such feedback. Not a paper figure: an extension
+// experiment.
+//
+// Flags: the usual experiment knobs (see figures.h) plus
+//   --dropouts=0,0.1,0.2,0.4   swept per-round worker dropout rates
+//   --abandon/--loss/...       extra fault rates held fixed across the sweep
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "exp/figures.h"
+
+namespace {
+
+std::vector<double> dropout_rates(const mcs::Config& flags) {
+  std::vector<double> rates;
+  for (const std::string& tok :
+       mcs::split(flags.get_string("dropouts", "0,0.1,0.2,0.4"), ',')) {
+    rates.push_back(std::stod(tok));
+  }
+  MCS_CHECK(!rates.empty(), "--dropouts needs at least one rate");
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  const Config flags = Config::from_args(argc, argv);
+  exp::ExperimentConfig base = exp::experiment_from_config(flags);
+  exp::print_experiment_header(base, "Extension: fault tolerance");
+
+  const std::vector<double> rates = dropout_rates(flags);
+  const auto mechs = exp::all_mechanisms();
+
+  // One full mechanism comparison per dropout rate; the same repetition
+  // seeds (hence the same worlds and the same fault draws per rate) are
+  // used in every column.
+  std::vector<std::vector<exp::AggregateResult>> grid;  // [rate][mech]
+  grid.reserve(rates.size());
+  for (const double rate : rates) {
+    std::vector<exp::AggregateResult> row;
+    row.reserve(mechs.size());
+    for (const auto mech : mechs) {
+      exp::ExperimentConfig cfg = base;
+      cfg.faults.dropout_prob = rate;
+      cfg.mechanism = mech;
+      row.push_back(exp::run_experiment(cfg));
+    }
+    grid.push_back(std::move(row));
+  }
+
+  const auto table_for =
+      [&](const char* x_label,
+          const std::function<double(const exp::AggregateResult&)>& metric,
+          int decimals) {
+        TextTable t({x_label, "on-demand", "fixed", "steered"});
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+          std::vector<std::string> row{format_fixed(rates[ri], 2)};
+          for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
+            row.push_back(format_fixed(metric(grid[ri][mi]), decimals));
+          }
+          t.add_row(std::move(row));
+        }
+        return t;
+      };
+
+  std::cout << "--- overall completeness % ---\n";
+  TextTable completeness = table_for(
+      "dropout", [](const exp::AggregateResult& r) {
+        return r.completeness.mean();
+      },
+      2);
+  completeness.print(std::cout);
+  exp::maybe_dump_csv(flags, "ext_fault_completeness", completeness);
+
+  std::cout << "\n--- coverage % ---\n";
+  TextTable coverage = table_for(
+      "dropout",
+      [](const exp::AggregateResult& r) { return r.coverage.mean(); }, 2);
+  coverage.print(std::cout);
+  exp::maybe_dump_csv(flags, "ext_fault_coverage", coverage);
+
+  // Degradation relative to the mechanism's own fault-free baseline (first
+  // swept rate, ideally 0): percentage points of completeness lost. The
+  // fault-tolerance headline: smaller is more robust.
+  std::cout << "\n--- completeness loss vs dropout=" << format_fixed(rates[0], 2)
+            << " (pp) ---\n";
+  TextTable degradation({"dropout", "on-demand", "fixed", "steered"});
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    std::vector<std::string> row{format_fixed(rates[ri], 2)};
+    for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
+      row.push_back(format_fixed(
+          grid[0][mi].completeness.mean() - grid[ri][mi].completeness.mean(),
+          2));
+    }
+    degradation.add_row(std::move(row));
+  }
+  degradation.print(std::cout);
+  exp::maybe_dump_csv(flags, "ext_fault_degradation", degradation);
+
+  // Fault accounting at the highest swept rate: what the campaigns actually
+  // endured (mean per repetition).
+  const std::size_t worst = rates.size() - 1;
+  std::cout << "\n--- fault accounting at dropout=" << format_fixed(rates[worst], 2)
+            << " (mean per campaign) ---\n";
+  TextTable accounting(
+      {"metric", "on-demand", "fixed", "steered"});
+  const auto account_row =
+      [&](const char* label,
+          const std::function<double(const exp::AggregateResult&)>& metric,
+          int decimals) {
+        std::vector<std::string> row{label};
+        for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
+          row.push_back(format_fixed(metric(grid[worst][mi]), decimals));
+        }
+        accounting.add_row(std::move(row));
+      };
+  account_row("dropped user-rounds", [](const exp::AggregateResult& r) {
+    return r.dropped_users.mean();
+  }, 1);
+  account_row("abandoned tours", [](const exp::AggregateResult& r) {
+    return r.abandoned_tours.mean();
+  }, 1);
+  account_row("lost uploads", [](const exp::AggregateResult& r) {
+    return r.lost_measurements.mean();
+  }, 1);
+  account_row("wasted travel (m)", [](const exp::AggregateResult& r) {
+    return r.wasted_travel.mean();
+  }, 0);
+  accounting.print(std::cout);
+  exp::maybe_dump_csv(flags, "ext_fault_accounting", accounting);
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    for (std::size_t mi = 0; mi < mechs.size(); ++mi) {
+      if (!grid[ri][mi].failed_reps.empty()) {
+        std::cerr << "note: " << grid[ri][mi].failed_reps.size()
+                  << " repetition(s) failed at dropout="
+                  << format_fixed(rates[ri], 2) << " for "
+                  << incentive::mechanism_name(mechs[mi]) << "\n";
+      }
+    }
+  }
+
+  exp::warn_unconsumed(flags);
+  return 0;
+}

@@ -3,25 +3,52 @@
 #   1. the full build + test suite (ROADMAP.md's canonical command), then
 #   2. the concurrency-sensitive suites — thread pool, parallel runner
 #      determinism, simulator — rebuilt and rerun under ThreadSanitizer so
-#      data races in the pool or the repetition merge path fail loudly.
+#      data races in the pool or the repetition merge path fail loudly, then
+#   3. the fault-injection and failure-recovery suites rebuilt and rerun
+#      under ASan+UBSan (abandoned-tour prefix walks, runner retry paths and
+#      event-trace bookkeeping are exactly where an off-by-one would hide).
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
+#   MCS_ASAN=0 in the environment also skips the ASan stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+SKIP_TSAN=0
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "tier1: unknown argument ${arg}" >&2; exit 2 ;;
+  esac
+done
+if [[ "${MCS_ASAN:-1}" == "0" ]]; then
+  SKIP_ASAN=1
+fi
+
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-if [[ "${1:-}" == "--skip-tsan" ]]; then
+if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"
-  exit 0
+else
+  cmake -B build-tsan -S . -DMCS_TSAN=ON
+  cmake --build build-tsan -j "${JOBS}" --target test_common test_integration test_sim
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
+    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator'
 fi
 
-cmake -B build-tsan -S . -DMCS_TSAN=ON
-cmake --build build-tsan -j "${JOBS}" --target test_common test_integration test_sim
-TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator'
-echo "tier1: OK (full suite + TSan concurrency suites)"
+if [[ "${SKIP_ASAN}" == "1" ]]; then
+  echo "tier1: skipping ASan+UBSan stage"
+else
+  cmake -B build-asan -S . -DMCS_ASAN=ON
+  cmake --build build-asan -j "${JOBS}" --target test_sim test_integration
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'Fault|RunnerFailure|Simulator|EventLog'
+fi
+
+echo "tier1: OK"

@@ -61,6 +61,17 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   e.max_rounds = static_cast<Round>(cfg.get_int("rounds", e.max_rounds));
   e.repetitions = static_cast<int>(cfg.get_int("reps", e.repetitions));
   e.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  sim::FaultPlan& f = e.faults;
+  f.dropout_prob = cfg.get_double("dropout", f.dropout_prob);
+  f.abandon_prob = cfg.get_double("abandon", f.abandon_prob);
+  f.upload_loss_prob = cfg.get_double("loss", f.upload_loss_prob);
+  f.corruption_prob = cfg.get_double("corrupt", f.corruption_prob);
+  f.corruption_noise = cfg.get_double("corrupt-noise", f.corruption_noise);
+  f.withdraw_prob = cfg.get_double("withdraw", f.withdraw_prob);
+  f.seed = static_cast<std::uint64_t>(cfg.get_int("fault-seed", 0));
+  f.validate();
+
   e.threads =
       static_cast<int>(cfg.get_int("threads", threads_default_from_env()));
   MCS_CHECK(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
@@ -193,7 +204,16 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " seed=" << cfg.seed << " threads="
             << (cfg.threads == 0 ? std::string("auto")
                                  : std::to_string(cfg.threads))
-            << "\n\n";
+            << "\n";
+  if (cfg.faults.any()) {
+    std::cout << "faults: dropout=" << cfg.faults.dropout_prob
+              << " abandon=" << cfg.faults.abandon_prob
+              << " loss=" << cfg.faults.upload_loss_prob
+              << " corrupt=" << cfg.faults.corruption_prob
+              << " withdraw=" << cfg.faults.withdraw_prob
+              << " fault-seed=" << cfg.faults.seed << "\n";
+  }
+  std::cout << "\n";
 }
 
 void warn_unconsumed(const Config& cfg) {

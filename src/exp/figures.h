@@ -19,7 +19,9 @@ namespace mcs::exp {
 /// user-budget-min/max, speed, cost-per-meter, mechanism, selector, dp-cap,
 /// rounds, reps, seed, threads (0 = one worker per hardware thread; the
 /// MCS_THREADS environment variable supplies the default when the flag is
-/// absent — results are bit-identical whatever the value).
+/// absent — results are bit-identical whatever the value), and the
+/// fault-injection rates dropout, abandon, loss, corrupt, corrupt-noise,
+/// withdraw, fault-seed (see sim/faults.h; all default to zero faults).
 ExperimentConfig experiment_from_config(const Config& cfg);
 
 /// The "users 40..140 step 20" x-axis of Figs. 6–9, overridable with

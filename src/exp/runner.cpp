@@ -25,6 +25,9 @@ sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
   sp.max_rounds = cfg.max_rounds;
   sp.platform_budget = cfg.mech_params.platform_budget;
   sp.order_seed = seed ^ 0x5bd1e995;
+  // Fault draws mix the plan seed with order_seed (itself a pure function
+  // of the repetition seed), so every repetition faults independently.
+  sp.faults = cfg.faults;
   return sim::Simulator(std::move(world), std::move(mechanism),
                         std::move(selector), sp,
                         sim::make_mobility(cfg.mobility, cfg.drift_sigma));
@@ -43,16 +46,38 @@ RepetitionResult run_one(const ExperimentConfig& cfg, std::uint64_t seed,
 AggregateResult aggregate(const ExperimentConfig& cfg,
                           const MechanismFactory* factory) {
   MCS_CHECK(cfg.repetitions >= 1, "need at least one repetition");
+  cfg.faults.validate();
 
   // Repetitions are fully independent (each a pure function of its seed), so
   // they fan out across workers into slots indexed by rep; the merge below
   // then runs on this thread in repetition order, making the aggregate
   // bit-identical to the serial threads=1 run whatever the thread count.
+  //
+  // A repetition that throws mcs::Error gets one same-seed retry (shielding
+  // long sweeps from transient failures); a second failure marks the slot
+  // failed and the sweep carries on — one bad repetition must not poison a
+  // campaign-hours sweep.
+  struct Slot {
+    RepetitionResult result;
+    bool ok = false;
+    std::string error;
+  };
   const auto reps = static_cast<std::size_t>(cfg.repetitions);
-  std::vector<RepetitionResult> results(reps);
+  std::vector<Slot> slots(reps);
   parallel_for_each(cfg.threads, reps, [&](std::size_t rep) {
-    results[rep] =
-        run_one(cfg, repetition_seed(cfg, static_cast<int>(rep)), factory);
+    const std::uint64_t seed = repetition_seed(cfg, static_cast<int>(rep));
+    Slot& slot = slots[rep];
+    for (int attempt = 0; attempt < 2 && !slot.ok; ++attempt) {
+      try {
+        if (cfg.repetition_probe) {
+          cfg.repetition_probe(static_cast<int>(rep), attempt);
+        }
+        slot.result = run_one(cfg, seed, factory);
+        slot.ok = true;
+      } catch (const Error& e) {
+        slot.error = e.what();
+      }
+    }
   });
 
   AggregateResult agg;
@@ -63,7 +88,14 @@ AggregateResult aggregate(const ExperimentConfig& cfg,
   agg.round_mean_profit.resize(rounds);
   agg.round_mean_reward.resize(rounds);
 
-  for (const RepetitionResult& r : results) {
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    if (!slots[rep].ok) {
+      agg.failed_reps.push_back({static_cast<int>(rep),
+                                 repetition_seed(cfg, static_cast<int>(rep)),
+                                 slots[rep].error});
+      continue;
+    }
+    const RepetitionResult& r = slots[rep].result;
     agg.coverage.add(r.campaign.coverage_pct);
     agg.completeness.add(r.campaign.completeness_pct);
     agg.tasks_completed.add(r.campaign.tasks_completed_pct);
@@ -75,6 +107,10 @@ AggregateResult aggregate(const ExperimentConfig& cfg,
     agg.reward_gini.add(r.campaign.reward_gini);
     agg.reward_jain.add(r.campaign.reward_jain);
     agg.active_fraction.add(r.campaign.active_user_fraction);
+    agg.dropped_users.add(r.campaign.dropped_user_rounds);
+    agg.abandoned_tours.add(r.campaign.abandoned_tours);
+    agg.lost_measurements.add(r.campaign.lost_measurements);
+    agg.wasted_travel.add(r.campaign.wasted_travel);
 
     double last_cov = 0.0;
     double last_compl = 0.0;
@@ -99,6 +135,11 @@ AggregateResult aggregate(const ExperimentConfig& cfg,
       agg.round_completeness[k].add(last_compl);
     }
   }
+  MCS_CHECK(agg.failed_reps.size() < reps,
+            "every repetition failed (first error: " +
+                (agg.failed_reps.empty() ? std::string("none")
+                                         : agg.failed_reps.front().error) +
+                ")");
   return agg;
 }
 

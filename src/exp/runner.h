@@ -8,11 +8,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "incentive/mechanism.h"
 #include "select/selector.h"
+#include "sim/faults.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 
@@ -35,6 +37,17 @@ struct ExperimentConfig {
   // merged in repetition order, so every aggregate is bit-identical whatever
   // this is set to. Benches expose it as --threads / MCS_THREADS.
   int threads = 0;
+  // Fault injection applied to every repetition's campaign (sim/faults.h).
+  // Fault draws derive from the repetition seed, so they are independent
+  // across repetitions and bit-reproducible at any thread count. Benches
+  // expose the rates as --dropout/--abandon/--loss/--corrupt/--withdraw.
+  sim::FaultPlan faults;
+  // Diagnostic/test hook, called (from the worker thread) at the start of
+  // every repetition attempt: attempt 0 always, attempt 1 only for the
+  // single same-seed retry after an mcs::Error. A throwing probe counts as
+  // a failing attempt — fault-tolerance tests use it to inject repetition
+  // failures. Must be thread-safe; null (the default) is skipped.
+  std::function<void(int rep, int attempt)> repetition_probe;
 };
 
 struct RepetitionResult {
@@ -53,6 +66,15 @@ RepetitionResult run_repetition(const ExperimentConfig& cfg,
 /// stream independence and callers can re-run a single repetition.
 std::uint64_t repetition_seed(const ExperimentConfig& cfg, int rep);
 
+/// A repetition whose campaign threw mcs::Error twice (the initial attempt
+/// and one same-seed retry). Recorded instead of aborting the sweep; the
+/// seed lets the failure be replayed with run_repetition.
+struct FailedRepetition {
+  int rep = -1;
+  std::uint64_t seed = 0;
+  std::string error;  // what() of the last failing attempt
+};
+
 /// Aggregates over repetitions. Round series are padded to max_rounds: a
 /// campaign that closed early contributes zero new measurements and its
 /// final coverage/completeness to the remaining rounds. Exception: the
@@ -60,6 +82,8 @@ std::uint64_t repetition_seed(const ExperimentConfig& cfg, int rep);
 /// rounds are excluded from round_mean_reward instead of being counted as
 /// zero-price rounds (each RunningStats carries its own per-round sample
 /// count; count() < repetitions on rounds some campaigns never reached).
+/// Failed repetitions (see failed_reps) contribute to no aggregate at all:
+/// every stat's count() is the number of *successful* repetitions.
 struct AggregateResult {
   RunningStats coverage;
   RunningStats completeness;
@@ -78,8 +102,21 @@ struct AggregateResult {
   std::vector<RunningStats> round_mean_profit;
   // Mean published reward; live campaigns only (see aggregation note above).
   std::vector<RunningStats> round_mean_reward;
+  // Fault-degradation accounting (campaign totals; all zero without a
+  // FaultPlan): dropped worker-rounds, abandoned tours, lost uploads,
+  // meters walked for nothing.
+  RunningStats dropped_users;
+  RunningStats abandoned_tours;
+  RunningStats lost_measurements;
+  RunningStats wasted_travel;
+  // Repetitions that failed twice (see FailedRepetition), in rep order.
+  std::vector<FailedRepetition> failed_reps;
 };
 
+/// Runs cfg.repetitions campaigns and aggregates them. A repetition that
+/// throws mcs::Error is retried once with the same seed; if it fails again
+/// it lands in failed_reps and the sweep continues. Throws only when every
+/// repetition failed (there is nothing to aggregate).
 AggregateResult run_experiment(const ExperimentConfig& cfg);
 
 /// Builds the incentive mechanism for one repetition; `rng` is that

@@ -81,15 +81,23 @@ std::vector<double> DemandIndicator::demands(const model::World& world,
                                              Round k) const {
   // neighbor_counts() is one entry per task *position*; index by position
   // (task ids need not be dense or equal to their vector index).
-  const std::vector<int> counts = world.neighbor_counts();
-  MCS_CHECK(counts.size() == world.num_tasks(),
+  return demands(world, k, world.neighbor_counts());
+}
+
+std::vector<double> DemandIndicator::demands(
+    const model::World& world, Round k,
+    const std::vector<int>& neighbor_counts) const {
+  MCS_CHECK(neighbor_counts.size() == world.num_tasks(),
             "one neighbor count per task");
   const int max_neighbors =
-      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+      neighbor_counts.empty()
+          ? 0
+          : *std::max_element(neighbor_counts.begin(), neighbor_counts.end());
   std::vector<double> out;
   out.reserve(world.num_tasks());
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
-    out.push_back(demand(world.tasks()[i], k, counts[i], max_neighbors));
+    out.push_back(
+        demand(world.tasks()[i], k, neighbor_counts[i], max_neighbors));
   }
   return out;
 }

@@ -70,7 +70,21 @@ class DemandIndicator {
 
   /// Raw demands for all tasks of a world at round k. Completed or expired
   /// tasks get demand 0 (they no longer ask for participants).
+  ///
+  /// Demands are a pure function of the *current* world snapshot — nothing
+  /// is cached between rounds. That statelessness is what makes the
+  /// mechanism degrade gracefully under faults: a measurement lost in
+  /// upload never advances pi_i, so the next recompute re-inflates the
+  /// task's demand (and hence its published reward) until someone actually
+  /// delivers.
   std::vector<double> demands(const model::World& world, Round k) const;
+
+  /// Same, with the per-task neighbor counts already in hand (one entry per
+  /// task position, as returned by World::neighbor_counts()). Lets callers
+  /// that evaluate several rounds or mechanisms against one user placement
+  /// skip the spatial-grid recount.
+  std::vector<double> demands(const model::World& world, Round k,
+                              const std::vector<int>& neighbor_counts) const;
 
   /// Normalized demand in [0,1]: d / (lambda_max * ln 2)  (§IV-C).
   double normalize(double demand) const;

@@ -19,12 +19,20 @@ std::vector<SensingEvent> EventLog::round_events(Round k) const {
   return out;
 }
 
+std::vector<SensingEvent> EventLog::accepted_events() const {
+  std::vector<SensingEvent> out;
+  for (const auto& e : events_) {
+    if (e.accepted) out.push_back(e);
+  }
+  return out;
+}
+
 void EventLog::write_csv(std::ostream& out) const {
-  out << "round,user,task,reward,leg_distance\n";
+  out << "round,user,task,reward,leg_distance,accepted,corrupted\n";
   for (const auto& e : events_) {
     out << e.round << ',' << e.user << ',' << e.task << ','
         << format_fixed(e.reward, 4) << ',' << format_fixed(e.leg_distance, 2)
-        << '\n';
+        << ',' << (e.accepted ? 1 : 0) << ',' << (e.corrupted ? 1 : 0) << '\n';
   }
 }
 

@@ -1,6 +1,8 @@
 // Optional per-measurement event trace. Disabled by default to keep sweep
 // memory flat; examples and debugging runs enable it to replay exactly who
-// sensed what, where and for how much.
+// sensed what, where and for how much — including, under fault injection,
+// the attempts that never made it (accepted == false), so fault traces can
+// be replayed measurement by measurement.
 #pragma once
 
 #include <iosfwd>
@@ -14,8 +16,14 @@ struct SensingEvent {
   Round round = 0;
   UserId user = kInvalidUser;
   TaskId task = kInvalidTask;
-  Money reward = 0.0;
+  Money reward = 0.0;         // 0 for a lost upload (nothing was paid)
   Meters leg_distance = 0.0;  // distance walked for this leg of the tour
+  // False when the upload was lost in transit: the user walked the leg but
+  // the platform received nothing — no payment, no task progress.
+  bool accepted = true;
+  // True when the accepted reading was corrupted (extra sensor noise). The
+  // platform cannot tell; the trace keeps the ground truth.
+  bool corrupted = false;
 };
 
 class EventLog {
@@ -31,7 +39,11 @@ class EventLog {
   /// Events of one round, in delivery order.
   std::vector<SensingEvent> round_events(Round k) const;
 
-  /// Write a CSV dump (round,user,task,reward,leg_distance).
+  /// Accepted events only (the measurements the platform actually has).
+  std::vector<SensingEvent> accepted_events() const;
+
+  /// Write a CSV dump (round,user,task,reward,leg_distance,accepted,
+  /// corrupted).
   void write_csv(std::ostream& out) const;
 
  private:

@@ -38,6 +38,16 @@ struct RoundMetrics {
   // 0 when nothing is open. Feeds the reward-dynamics diagnostic bench.
   Money mean_open_reward = 0.0;
   int open_tasks = 0;
+  // Fault-injection accounting (all zero without a FaultPlan; see
+  // sim/faults.h). Lost uploads do not advance task progress, so the demand
+  // indicator re-inflates demand for under-delivered tasks — these counters
+  // measure that degradation story.
+  int dropped_users = 0;           // workers offline this round
+  int abandoned_tours = 0;         // tours cut short mid-way
+  int lost_measurements = 0;       // uploads that never reached the platform
+  int corrupted_measurements = 0;  // accepted but noise-corrupted readings
+  int withdrawn_tasks = 0;         // open tasks glitched out of this round
+  Meters wasted_travel = 0.0;      // meters walked for lost uploads
 };
 
 /// End-of-campaign summary.
@@ -56,6 +66,14 @@ struct CampaignMetrics {
   double reward_gini = 0.0;
   double reward_jain = 1.0;
   double active_user_fraction = 0.0;
+  // Campaign totals of the per-round fault counters (summed over history by
+  // Simulator::summary(); all zero without a FaultPlan).
+  int dropped_user_rounds = 0;
+  int abandoned_tours = 0;
+  long long lost_measurements = 0;
+  long long corrupted_measurements = 0;
+  int withdrawn_task_rounds = 0;
+  Meters wasted_travel = 0.0;
 };
 
 double coverage_pct(const model::World& world);

@@ -151,6 +151,12 @@ Json round_to_json(const RoundMetrics& m) {
   o["mean_user_profit"] = Json(m.mean_user_profit);
   o["mean_open_reward"] = Json(m.mean_open_reward);
   o["open_tasks"] = Json(m.open_tasks);
+  o["dropped_users"] = Json(m.dropped_users);
+  o["abandoned_tours"] = Json(m.abandoned_tours);
+  o["lost_measurements"] = Json(m.lost_measurements);
+  o["corrupted_measurements"] = Json(m.corrupted_measurements);
+  o["withdrawn_tasks"] = Json(m.withdrawn_tasks);
+  o["wasted_travel"] = Json(m.wasted_travel);
   return Json(std::move(o));
 }
 
@@ -169,6 +175,8 @@ Json events_to_json(const EventLog& log) {
     o["task"] = Json(e.task);
     o["reward"] = Json(e.reward);
     o["leg_distance"] = Json(e.leg_distance);
+    o["accepted"] = Json(e.accepted);
+    o["corrupted"] = Json(e.corrupted);
     out.push_back(Json(std::move(o)));
   }
   return out;

@@ -21,6 +21,7 @@ Simulator::Simulator(model::World world,
       mobility_(mobility ? std::move(mobility)
                          : std::make_unique<StaticHomeMobility>()),
       mobility_rng_(params.order_seed ^ 0xb0b1b2b3b4b5b6b7ULL),
+      faults_(params.faults, params.order_seed),
       budget_(params.platform_budget, /*strict=*/false),
       events_(params.record_events) {
   MCS_CHECK(mechanism_ != nullptr, "simulator needs a mechanism");
@@ -67,7 +68,8 @@ std::vector<select::SelectionInstance> Simulator::peek_instances() {
   MCS_CHECK(next_round_ <= params_.max_rounds, "campaign already over");
   const Round k = next_round_;
   mechanism_->update_rewards(world_, k);
-  const std::vector<bool> open = open_tasks(world_, *mechanism_, k);
+  std::vector<bool> open = open_tasks(world_, *mechanism_, k);
+  apply_withdrawals(open, k);
   std::vector<select::SelectionInstance> out;
   out.reserve(world_.num_users());
   for (const model::User& u : world_.users()) {
@@ -75,6 +77,21 @@ std::vector<select::SelectionInstance> Simulator::peek_instances() {
                                 u.time_budget()));
   }
   return out;
+}
+
+int Simulator::apply_withdrawals(std::vector<bool>& open, Round k) const {
+  if (!faults_.enabled()) return 0;
+  // Platform glitch: an open task vanishes from this round's published set
+  // (users cannot select or deliver it); it returns next round.
+  int withdrawn = 0;
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    if (!open[i]) continue;
+    if (faults_.withdraw_task(world_.tasks()[i].id(), k)) {
+      open[i] = false;
+      ++withdrawn;
+    }
+  }
+  return withdrawn;
 }
 
 bool Simulator::all_tasks_closed() const {
@@ -96,11 +113,13 @@ const RoundMetrics& Simulator::step() {
   // mechanisms, selections are made against this snapshot and every
   // delivery within the round is honored; intra-round mechanisms reprice
   // before each user session, but a task that completes mid-round likewise
-  // stays deliverable for the users of this round.
-  const std::vector<bool> open = open_tasks(world_, *mechanism_, k);
+  // stays deliverable for the users of this round. Glitched tasks leave the
+  // set before anything is published.
+  std::vector<bool> open = open_tasks(world_, *mechanism_, k);
 
   RoundMetrics rm;
   rm.round = k;
+  rm.withdrawn_tasks = apply_withdrawals(open, k);
   rm.user_profit.assign(world_.num_users(), 0.0);
   // Round-start snapshot of the published prices. For round-granularity
   // mechanisms these are exactly the prices every user of the round faces;
@@ -131,8 +150,18 @@ const RoundMetrics& Simulator::step() {
   // (3)+(4) Every user selects and performs a task set.
   for (const UserId uid : visit_order) {
     model::User& u = world_.user(uid);
+    // Mobility advances for every user, dropped or not (the worker is
+    // somewhere that round; they just do not work) — fault draws therefore
+    // never shift the mobility stream.
     u.set_location(
         mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
+
+    if (faults_.enabled() && faults_.drop_user(uid, k)) {
+      // Offline this round: no session (so intra-round mechanisms see no
+      // repricing event either), no travel, zero profit.
+      ++rm.dropped_users;
+      continue;
+    }
 
     if (intra_round) {
       mechanism_->update_rewards(world_, k);
@@ -160,25 +189,54 @@ const RoundMetrics& Simulator::step() {
     MCS_ASSERT(select::is_feasible(inst, sel),
                "selector returned an infeasible tour");
 
+    // Mid-tour abandonment: the user walks only the first `walked_legs`
+    // legs of the planned tour and pays travel for those legs alone.
+    const int planned_legs = static_cast<int>(sel.order.size());
+    int walked_legs = planned_legs;
+    if (faults_.enabled()) {
+      walked_legs = faults_.legs_completed(uid, k, planned_legs);
+      if (walked_legs < planned_legs) ++rm.abandoned_tours;
+    }
+
     Money reward_earned = 0.0;
+    Meters walked = 0.0;
     geo::Point at = u.location();
-    for (const TaskId id : sel.order) {
+    for (int li = 0; li < walked_legs; ++li) {
+      const TaskId id = sel.order[static_cast<std::size_t>(li)];
       model::Task& t = world_.task(id);
       const Money reward = mechanism_->reward(id);
       const Meters leg = geo::euclidean(at, t.location());
+      walked += leg;
+      at = t.location();
+      if (faults_.enabled() && faults_.lose_upload(uid, id, k)) {
+        // The leg was walked but the upload never arrived: no payment, no
+        // task progress, and the user is not marked as a contributor — a
+        // later round may retry. The demand indicator keeps asking.
+        ++rm.lost_measurements;
+        rm.wasted_travel += leg;
+        events_.record({k, u.id(), id, 0.0, leg, /*accepted=*/false});
+        continue;
+      }
+      const bool corrupted =
+          faults_.enabled() && faults_.corrupt_upload(uid, id, k);
       t.add_measurement(u.id(), k, reward);
       u.mark_contributed(id);
       budget_.pay(reward);
       reward_earned += reward;
-      events_.record({k, u.id(), id, reward, leg});
-      at = t.location();
+      if (corrupted) ++rm.corrupted_measurements;
+      events_.record({k, u.id(), id, reward, leg, /*accepted=*/true,
+                      corrupted});
     }
     u.set_location(at);
 
-    const Money cost = world_.travel().cost_for(sel.distance);
+    // A fully walked tour is charged the selector's own distance (keeps the
+    // fault-free path bit-identical whatever accumulation a solver used);
+    // an abandoned one pays for the walked prefix only.
+    const Money cost = world_.travel().cost_for(
+        walked_legs == planned_legs ? sel.distance : walked);
     u.add_earnings(reward_earned, cost);
     rm.user_profit[static_cast<std::size_t>(uid)] = reward_earned - cost;
-    if (!sel.order.empty()) ++rm.active_users;
+    if (walked_legs > 0) ++rm.active_users;
   }
 
   // For intra-round mechanisms the round-start snapshot is not what users
@@ -209,7 +267,18 @@ CampaignMetrics Simulator::run() {
 }
 
 CampaignMetrics Simulator::summary() const {
-  return summarize(world_, budget_.spent(), budget_.overdraft());
+  CampaignMetrics m = summarize(world_, budget_.spent(), budget_.overdraft());
+  // Fault accounting lives in the round history (the world only ever sees
+  // accepted measurements); fold it into the campaign totals here.
+  for (const RoundMetrics& rm : history_) {
+    m.dropped_user_rounds += rm.dropped_users;
+    m.abandoned_tours += rm.abandoned_tours;
+    m.lost_measurements += rm.lost_measurements;
+    m.corrupted_measurements += rm.corrupted_measurements;
+    m.withdrawn_task_rounds += rm.withdrawn_tasks;
+    m.wasted_travel += rm.wasted_travel;
+  }
+  return m;
 }
 
 }  // namespace mcs::sim

@@ -19,6 +19,7 @@
 #include "model/world.h"
 #include "select/selector.h"
 #include "sim/event_log.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/mobility.h"
 
@@ -32,6 +33,11 @@ struct SimulatorParams {
   // mechanisms that reprice within a round); the shuffle derives from this
   // seed, keeping campaigns bit-reproducible.
   std::uint64_t order_seed = 1;
+  // Fault injection (sim/faults.h). The default plan injects nothing and
+  // leaves the campaign bit-identical to a fault-free run; fault draws come
+  // from their own hash-based stream (mixed from faults.seed and
+  // order_seed), so they never perturb mobility or ordering draws.
+  FaultPlan faults;
 };
 
 class Simulator {
@@ -61,6 +67,7 @@ class Simulator {
   const incentive::IncentiveMechanism& mechanism() const { return *mechanism_; }
   const select::TaskSelector& selector() const { return *selector_; }
   const MobilityModel& mobility() const { return *mobility_; }
+  const FaultInjector& faults() const { return faults_; }
   const std::vector<RoundMetrics>& history() const { return history_; }
   const incentive::BudgetTracker& budget() const { return budget_; }
   const EventLog& events() const { return events_; }
@@ -76,12 +83,17 @@ class Simulator {
   std::vector<select::SelectionInstance> peek_instances();
 
  private:
+  /// Glitch fault: clears open-set entries withdrawn from round k; returns
+  /// how many were withdrawn. No-op without faults.
+  int apply_withdrawals(std::vector<bool>& open, Round k) const;
+
   model::World world_;
   std::unique_ptr<incentive::IncentiveMechanism> mechanism_;
   std::unique_ptr<select::TaskSelector> selector_;
   SimulatorParams params_;
   std::unique_ptr<MobilityModel> mobility_;
   Rng mobility_rng_;
+  FaultInjector faults_;
   incentive::BudgetTracker budget_;
   EventLog events_;
   Round next_round_ = 1;

@@ -16,6 +16,7 @@ std::vector<TaskTimeline> task_timelines(const model::World& world,
     MCS_CHECK(e.task >= 0 &&
                   static_cast<std::size_t>(e.task) < world.num_tasks(),
               "trace references unknown task");
+    if (!e.accepted) continue;  // lost uploads never reached the platform
     TaskTimeline& t = out[static_cast<std::size_t>(e.task)];
     if (t.first_measurement == 0) t.first_measurement = e.round;
     ++t.measurements;

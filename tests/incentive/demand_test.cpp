@@ -186,6 +186,34 @@ TEST_F(DemandIndicatorTest, WorldDemandsVectorised) {
   }
 }
 
+TEST_F(DemandIndicatorTest, PrecomputedNeighborCountsMatchRecount) {
+  world_.add_task({0, 0}, 10, 20);
+  world_.add_task({3000, 3000}, 10, 20);
+  world_.add_user({10, 10}, 600.0);
+  const std::vector<int> counts = world_.neighbor_counts();
+  const auto recounted = indicator_.demands(world_, 1);
+  const auto precomputed = indicator_.demands(world_, 1, counts);
+  ASSERT_EQ(recounted.size(), precomputed.size());
+  for (std::size_t i = 0; i < recounted.size(); ++i) {
+    EXPECT_EQ(recounted[i], precomputed[i]);  // bit-identical, same code path
+  }
+  // Wrong-sized count vectors are a caller bug, not silently truncated.
+  EXPECT_THROW(indicator_.demands(world_, 1, {1}), Error);
+}
+
+TEST_F(DemandIndicatorTest, LostProgressKeepsDemandInflated) {
+  // The fault layer's degradation story in one assertion: a measurement
+  // that never reaches the platform (lost upload -> no add_measurement)
+  // leaves demand exactly where it was, while a delivered one deflates it.
+  world_.add_task({0, 0}, 10, 5);
+  const double before = indicator_.demand(world_.task(0), 2, 0, 0);
+  // Lost upload: nothing recorded, demand recomputes unchanged.
+  EXPECT_DOUBLE_EQ(indicator_.demand(world_.task(0), 2, 0, 0), before);
+  // Delivered upload: progress advances, demand strictly drops.
+  world_.task(0).add_measurement(0, 1, 0.5);
+  EXPECT_LT(indicator_.demand(world_.task(0), 2, 0, 0), before);
+}
+
 TEST(DemandIndicator, CustomMatrixWeightsAreUsed) {
   // All-equal criteria -> weights 1/3 each.
   const DemandIndicator ind(DemandParams{}, ahp::ComparisonMatrix(3));

@@ -1,0 +1,147 @@
+// Failure isolation in the experiment runner: a repetition that throws
+// mcs::Error gets one same-seed retry, a repetition that keeps failing is
+// recorded in failed_reps without poisoning any aggregate, and only a
+// sweep where *every* repetition fails aborts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.h"
+#include "exp/runner.h"
+
+namespace mcs::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.num_users = 40;
+  cfg.scenario.num_tasks = 10;
+  cfg.scenario.required_measurements = 8;
+  cfg.repetitions = 5;
+  cfg.max_rounds = 8;
+  cfg.selector = select::SelectorKind::kGreedy;
+  cfg.threads = 1;
+  return cfg;
+}
+
+void expect_stats_identical(const RunningStats& a, const RunningStats& b,
+                            const char* what) {
+  ASSERT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+}
+
+void expect_aggregate_identical(const AggregateResult& a,
+                                const AggregateResult& b) {
+  expect_stats_identical(a.coverage, b.coverage, "coverage");
+  expect_stats_identical(a.completeness, b.completeness, "completeness");
+  expect_stats_identical(a.total_paid, b.total_paid, "total_paid");
+  expect_stats_identical(a.active_fraction, b.active_fraction,
+                         "active_fraction");
+  ASSERT_EQ(a.round_new_measurements.size(), b.round_new_measurements.size());
+  for (std::size_t k = 0; k < a.round_new_measurements.size(); ++k) {
+    expect_stats_identical(a.round_new_measurements[k],
+                           b.round_new_measurements[k], "round_new");
+    expect_stats_identical(a.round_mean_reward[k], b.round_mean_reward[k],
+                           "round_mean_reward");
+  }
+}
+
+TEST(RunnerFailure, CleanSweepReportsNoFailedRepetitions) {
+  EXPECT_TRUE(run_experiment(small_config()).failed_reps.empty());
+}
+
+TEST(RunnerFailure, TransientFailureIsRetriedWithTheSameSeed) {
+  const AggregateResult base = run_experiment(small_config());
+
+  ExperimentConfig flaky = small_config();
+  std::atomic<int> first_attempts{0};
+  flaky.repetition_probe = [&first_attempts](int rep, int attempt) {
+    if (rep == 1 && attempt == 0) {
+      ++first_attempts;
+      throw Error("injected transient failure");
+    }
+  };
+  const AggregateResult agg = run_experiment(flaky);
+  EXPECT_EQ(first_attempts.load(), 1);
+  EXPECT_TRUE(agg.failed_reps.empty())
+      << "retried repetition must not be reported as failed";
+  // The retry reruns the identical seed, so the sweep is indistinguishable
+  // from one that never failed.
+  expect_aggregate_identical(base, agg);
+}
+
+TEST(RunnerFailure, PersistentFailureLandsInFailedRepsWithoutPoisoning) {
+  ExperimentConfig cfg = small_config();
+  cfg.repetition_probe = [](int rep, int /*attempt*/) {
+    if (rep == 1) throw Error("injected persistent failure");
+  };
+  const AggregateResult agg = run_experiment(cfg);
+
+  ASSERT_EQ(agg.failed_reps.size(), 1u);
+  EXPECT_EQ(agg.failed_reps[0].rep, 1);
+  EXPECT_EQ(agg.failed_reps[0].seed, repetition_seed(cfg, 1));
+  EXPECT_NE(agg.failed_reps[0].error.find("injected persistent failure"),
+            std::string::npos);
+
+  // Aggregates hold exactly the surviving repetitions…
+  const auto survivors = static_cast<std::size_t>(cfg.repetitions) - 1;
+  EXPECT_EQ(agg.coverage.count(), survivors);
+  EXPECT_EQ(agg.total_paid.count(), survivors);
+
+  // …and match a manual merge of those repetitions run standalone.
+  RunningStats manual_paid;
+  for (int rep = 0; rep < cfg.repetitions; ++rep) {
+    if (rep == 1) continue;
+    manual_paid.add(
+        run_repetition(cfg, repetition_seed(cfg, rep)).campaign.total_paid);
+  }
+  EXPECT_EQ(agg.total_paid.mean(), manual_paid.mean());
+  EXPECT_EQ(agg.total_paid.variance(), manual_paid.variance());
+}
+
+TEST(RunnerFailure, FailedSweepIsBitIdenticalAcrossThreadCounts) {
+  ExperimentConfig serial = small_config();
+  serial.repetition_probe = [](int rep, int /*attempt*/) {
+    if (rep == 2) throw Error("injected persistent failure");
+  };
+  ExperimentConfig threaded = serial;
+  threaded.threads = 8;
+  const AggregateResult a = run_experiment(serial);
+  const AggregateResult b = run_experiment(threaded);
+  ASSERT_EQ(a.failed_reps.size(), 1u);
+  ASSERT_EQ(b.failed_reps.size(), 1u);
+  EXPECT_EQ(a.failed_reps[0].rep, b.failed_reps[0].rep);
+  EXPECT_EQ(a.failed_reps[0].seed, b.failed_reps[0].seed);
+  expect_aggregate_identical(a, b);
+}
+
+TEST(RunnerFailure, ProbeRunsOncePerAttempt) {
+  ExperimentConfig cfg = small_config();
+  std::atomic<int> calls{0};
+  cfg.repetition_probe = [&calls](int /*rep*/, int /*attempt*/) { ++calls; };
+  run_experiment(cfg);
+  // No failures: exactly one attempt per repetition.
+  EXPECT_EQ(calls.load(), cfg.repetitions);
+}
+
+TEST(RunnerFailure, AllRepetitionsFailingAborts) {
+  ExperimentConfig cfg = small_config();
+  cfg.repetition_probe = [](int /*rep*/, int /*attempt*/) {
+    throw Error("injected total failure");
+  };
+  EXPECT_THROW(run_experiment(cfg), Error);
+}
+
+TEST(RunnerFailure, NonErrorExceptionsPropagate) {
+  // Only mcs::Error means "this repetition failed" — anything else (say
+  // std::bad_alloc) is a programming error and must escape untouched.
+  ExperimentConfig cfg = small_config();
+  cfg.repetition_probe = [](int rep, int /*attempt*/) {
+    if (rep == 0) throw std::logic_error("not an mcs::Error");
+  };
+  EXPECT_THROW(run_experiment(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcs::exp
