@@ -1,0 +1,95 @@
+// End-to-end campaign throughput: how many full simulated campaigns per
+// second the engine sustains, per selector. Unlike bench_selector_scaling
+// (isolated solver calls on synthetic instances) this drives the whole
+// per-round pipeline — mechanism repricing, the shared per-round candidate
+// pool, selection, tour execution, metrics — exactly as experiments do, so
+// it is the number that predicts sweep wall-clock.
+//
+// Methodology: each benchmark iteration runs a fixed panel of
+// kCampaignsPerIter campaigns whose seeds depend only on the panel slot, so
+// the workload is identical across iterations, builds and branches.
+// `items_per_second` is campaigns/s; the `user_rounds` counter is the rate
+// of user-round sessions (one potential selection call each), the natural
+// unit for comparing scenarios of different size.
+//
+// BM_CampaignThreaded measures the parallel runner fan-out (threads = one
+// per hardware thread) on the same workload; its aggregates are
+// bit-identical to the serial ones by construction, so the ratio to
+// BM_Campaign is pure scheduling overhead vs. speedup.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "exp/runner.h"
+
+namespace {
+
+using namespace mcs;
+
+constexpr int kCampaignsPerIter = 3;
+
+exp::ExperimentConfig make_config(select::SelectorKind kind, int num_users) {
+  exp::ExperimentConfig cfg;
+  cfg.selector = kind;
+  cfg.scenario.num_users = num_users;
+  cfg.scenario.num_tasks = 20;
+  cfg.max_rounds = 15;
+  return cfg;
+}
+
+// One campaign per panel slot; seeds are fixed so every iteration replays
+// the same worlds.
+void run_panel(const exp::ExperimentConfig& cfg, benchmark::State& state,
+               std::int64_t* user_rounds) {
+  for (int r = 0; r < kCampaignsPerIter; ++r) {
+    const std::uint64_t seed =
+        0xca3917a1ULL + 977ULL * static_cast<std::uint64_t>(r);
+    const exp::RepetitionResult rep = exp::run_repetition(cfg, seed);
+    benchmark::DoNotOptimize(rep.campaign.total_paid);
+    *user_rounds += static_cast<std::int64_t>(rep.rounds.size()) *
+                    cfg.scenario.num_users;
+  }
+  (void)state;
+}
+
+void BM_Campaign(benchmark::State& state, select::SelectorKind kind) {
+  const exp::ExperimentConfig cfg =
+      make_config(kind, static_cast<int>(state.range(0)));
+  std::int64_t user_rounds = 0;
+  for (auto _ : state) {
+    run_panel(cfg, state, &user_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignsPerIter);
+  state.counters["user_rounds"] = benchmark::Counter(
+      static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
+}
+
+void BM_CampaignThreaded(benchmark::State& state, select::SelectorKind kind) {
+  exp::ExperimentConfig cfg =
+      make_config(kind, static_cast<int>(state.range(0)));
+  cfg.repetitions = 8;
+  cfg.threads = 0;  // one worker per hardware thread
+  for (auto _ : state) {
+    const exp::AggregateResult agg = exp::run_experiment(cfg);
+    benchmark::DoNotOptimize(agg.total_paid.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.repetitions);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Campaign, dp, mcs::select::SelectorKind::kDp)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Campaign, greedy, mcs::select::SelectorKind::kGreedy)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Campaign, branch_bound,
+                  mcs::select::SelectorKind::kBranchBound)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignThreaded, dp, mcs::select::SelectorKind::kDp)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);

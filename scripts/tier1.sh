@@ -6,9 +6,15 @@
 #      data races in the pool or the repetition merge path fail loudly, then
 #   3. the fault-injection and failure-recovery suites rebuilt and rerun
 #      under ASan+UBSan (abandoned-tour prefix walks, runner retry paths and
-#      event-trace bookkeeping are exactly where an off-by-one would hide).
+#      event-trace bookkeeping are exactly where an off-by-one would hide),
+#      then
+#   4. a Release (-O3, NDEBUG) stage: the selector-equivalence suites rerun
+#      at the optimization level performance numbers are quoted at (the DP
+#      bound-prune and fused scan are exactly the code whose floating-point
+#      behaviour could shift under optimization), plus a smoke run of the
+#      micro benches so a broken bench binary fails tier-1, not bench day.
 #
-# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
 #   MCS_ASAN=0 in the environment also skips the ASan stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,10 +23,12 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_RELEASE=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-release) SKIP_RELEASE=1 ;;
     *) echo "tier1: unknown argument ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +57,20 @@ else
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
     -R 'Fault|RunnerFailure|Simulator|EventLog'
+fi
+
+if [[ "${SKIP_RELEASE}" == "1" ]]; then
+  echo "tier1: skipping Release stage"
+else
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "${JOBS}" \
+    --target test_select bench_selector_scaling bench_campaign_throughput
+  ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector'
+  ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
+  ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_Campaign/greedy/50' >/dev/null
 fi
 
 echo "tier1: OK"

@@ -172,14 +172,11 @@ DpVsGreedyResult run_dp_vs_greedy(const ExperimentConfig& cfg, Round at_round) {
   MCS_CHECK(at_round >= 1 && at_round <= cfg.max_rounds,
             "comparison round out of range");
   MCS_CHECK(cfg.repetitions >= 1, "need at least one repetition");
-  const auto dp = select::make_selector(select::SelectorKind::kDp,
-                                        cfg.dp_candidate_cap);
-  const auto greedy = select::make_selector(select::SelectorKind::kGreedy);
-
   // Same fan-out/ordered-merge scheme as aggregate(): each repetition fills
   // its own slot of per-user profit pairs, then the stats accumulate in
-  // repetition order. TaskSelector::select is const and stateless, so the
-  // two shared solvers are safe to call from every worker.
+  // repetition order. Selectors are built per repetition: the DP's scratch
+  // arena makes select() non-reentrant, so workers must not share one
+  // (DESIGN.md §7 threading contract).
   struct RepProfits {
     std::vector<Money> dp;
     std::vector<Money> greedy;
@@ -187,6 +184,9 @@ DpVsGreedyResult run_dp_vs_greedy(const ExperimentConfig& cfg, Round at_round) {
   const auto reps = static_cast<std::size_t>(cfg.repetitions);
   std::vector<RepProfits> per_rep(reps);
   parallel_for_each(cfg.threads, reps, [&](std::size_t rep) {
+    const auto dp = select::make_selector(select::SelectorKind::kDp,
+                                          cfg.dp_candidate_cap);
+    const auto greedy = select::make_selector(select::SelectorKind::kGreedy);
     const std::uint64_t seed = repetition_seed(cfg, static_cast<int>(rep));
     sim::Simulator simulator =
         build_simulator(cfg, seed, select::SelectorKind::kDp, nullptr);

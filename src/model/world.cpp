@@ -24,16 +24,22 @@ UserId World::add_user(geo::Point home, Seconds time_budget) {
   return id;
 }
 
+// add_task() assigns dense ids (position == id), which the fast path below
+// serves; worlds assembled directly through the mutable tasks() accessor may
+// carry arbitrary ids and fall back to a scan.
 Task& World::task(TaskId id) {
-  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
-            "task id out of range");
-  return tasks_[static_cast<std::size_t>(id)];
+  if (id >= 0 && static_cast<std::size_t>(id) < tasks_.size() &&
+      tasks_[static_cast<std::size_t>(id)].id() == id) {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  for (Task& t : tasks_) {
+    if (t.id() == id) return t;
+  }
+  throw Error("unknown task id");
 }
 
 const Task& World::task(TaskId id) const {
-  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
-            "task id out of range");
-  return tasks_[static_cast<std::size_t>(id)];
+  return const_cast<World*>(this)->task(id);
 }
 
 User& World::user(UserId id) {

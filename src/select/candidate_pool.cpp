@@ -1,0 +1,21 @@
+#include "select/candidate_pool.h"
+
+#include "geo/distance.h"
+
+namespace mcs::select {
+
+CandidatePool::CandidatePool(std::vector<Candidate> candidates)
+    : candidates_(std::move(candidates)) {
+  const std::size_t m = candidates_.size();
+  d_.assign(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const Meters d =
+          geo::euclidean(candidates_[a].location, candidates_[b].location);
+      d_[a * m + b] = d;
+      d_[b * m + a] = d;
+    }
+  }
+}
+
+}  // namespace mcs::select

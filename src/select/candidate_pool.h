@@ -1,0 +1,46 @@
+// CandidatePool: the geometry every user of one sensing round shares.
+//
+// Within a round, all users face the same open task set — their selection
+// instances differ only in the start location, the has-contributed filter
+// and (for intra-round mechanisms) the published rewards. The candidate–
+// candidate distances are therefore identical across the round's users, and
+// recomputing the full (m+1)^2 matrix per user session was the dominant
+// per-instance setup cost. The simulator builds one pool per round; each
+// SelectionInstance carries a shared_ptr to it plus a per-candidate row
+// index, and TravelGraph copies the candidate block out of the pool instead
+// of recomputing it (only the per-user start row is still measured fresh).
+//
+// Pool distances are produced by the exact same geo::euclidean calls a
+// poolless TravelGraph would make, so sharing is bit-invisible: selectors
+// return identical selections with or without a pool.
+#pragma once
+
+#include <vector>
+
+#include "select/instance.h"
+
+namespace mcs::select {
+
+class CandidatePool {
+ public:
+  CandidatePool() = default;
+
+  /// Takes the round's open candidates (round-start rewards; only the task
+  /// ids and locations are read back by selectors) and precomputes the
+  /// dense m x m distance matrix.
+  explicit CandidatePool(std::vector<Candidate> candidates);
+
+  std::size_t size() const { return candidates_.size(); }
+  const std::vector<Candidate>& candidates() const { return candidates_; }
+
+  /// Distance between candidates a and b (pool row indices).
+  Meters dist(std::size_t a, std::size_t b) const {
+    return d_[a * candidates_.size() + b];
+  }
+
+ private:
+  std::vector<Candidate> candidates_;
+  std::vector<Meters> d_;  // size() * size(), row-major, symmetric
+};
+
+}  // namespace mcs::select

@@ -2,31 +2,61 @@
 
 #include "common/error.h"
 #include "geo/distance.h"
+#include "select/candidate_pool.h"
 
 namespace mcs::select {
 
-TravelGraph::TravelGraph(const SelectionInstance& instance)
-    : m_(instance.candidates.size()) {
+TravelGraph::TravelGraph(const SelectionInstance& instance) { build(instance); }
+
+void TravelGraph::build(const SelectionInstance& instance) {
+  build(instance, instance.candidates, instance.pool_index);
+}
+
+void TravelGraph::build(const SelectionInstance& instance,
+                        const std::vector<Candidate>& candidates,
+                        const std::vector<std::int32_t>& pool_index) {
+  m_ = candidates.size();
   const std::size_t n = m_ + 1;
   d_.assign(n * n, 0.0);
   r_.assign(n, 0.0);
   tasks_.assign(n, kInvalidTask);
   min_in_.assign(n, kInf);
 
-  std::vector<geo::Point> pts(n);
-  pts[0] = instance.start;
   for (std::size_t i = 0; i < m_; ++i) {
-    pts[i + 1] = instance.candidates[i].location;
-    r_[i + 1] = instance.candidates[i].reward;
-    tasks_[i + 1] = instance.candidates[i].task;
+    r_[i + 1] = candidates[i].reward;
+    tasks_[i + 1] = candidates[i].task;
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const Meters d = geo::euclidean(pts[i], pts[j]);
-      d_[i * n + j] = d;
-      d_[j * n + i] = d;
+
+  // Start row: always per-user (the start location is what varies).
+  for (std::size_t j = 0; j < m_; ++j) {
+    const Meters d = geo::euclidean(instance.start, candidates[j].location);
+    d_[j + 1] = d;
+    d_[(j + 1) * n] = d;
+  }
+
+  const CandidatePool* pool =
+      pool_index.size() == m_ ? instance.pool.get() : nullptr;
+  if (pool != nullptr) {
+    // Candidate block straight from the round's shared matrix.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto pi = static_cast<std::size_t>(pool_index[i]);
+      for (std::size_t j = i + 1; j < m_; ++j) {
+        const Meters d = pool->dist(pi, static_cast<std::size_t>(pool_index[j]));
+        d_[(i + 1) * n + (j + 1)] = d;
+        d_[(j + 1) * n + (i + 1)] = d;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = i + 1; j < m_; ++j) {
+        const Meters d =
+            geo::euclidean(candidates[i].location, candidates[j].location);
+        d_[(i + 1) * n + (j + 1)] = d;
+        d_[(j + 1) * n + (i + 1)] = d;
+      }
     }
   }
+
   for (std::size_t i = 1; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;

@@ -1,6 +1,13 @@
 // Dense travel graph for a selection instance: node 0 is the user's start
 // location, node i (1-based) is candidate i-1. Matches the graph
 // G = (V, E, W, R) used in the paper's NP-hardness proof.
+//
+// A graph can be rebuilt in place (`build()`), reusing its storage — exact
+// solvers that run once per user session keep one graph as scratch instead
+// of allocating a fresh one per call. When the instance carries a shared
+// CandidatePool, the candidate–candidate block is copied from the pool and
+// only the start row is computed; the resulting distances are bit-identical
+// to a poolless build (the pool stores the same geo::euclidean values).
 #pragma once
 
 #include <vector>
@@ -11,7 +18,21 @@ namespace mcs::select {
 
 class TravelGraph {
  public:
+  /// Empty graph; call build() before use.
+  TravelGraph() = default;
+
   explicit TravelGraph(const SelectionInstance& instance);
+
+  /// (Re)build the graph from an instance, reusing internal storage.
+  void build(const SelectionInstance& instance);
+
+  /// (Re)build from an explicit candidate subset of `instance` (e.g. the
+  /// DP's pruned view). `pool_index` must parallel `candidates` when the
+  /// instance has a pool, mapping each kept candidate to its pool row; pass
+  /// an empty vector to force plain recomputation.
+  void build(const SelectionInstance& instance,
+             const std::vector<Candidate>& candidates,
+             const std::vector<std::int32_t>& pool_index);
 
   /// Number of candidates m.
   std::size_t num_candidates() const { return m_; }
@@ -32,7 +53,7 @@ class TravelGraph {
   Meters min_incoming(std::size_t i) const { return min_in_[i]; }
 
  private:
-  std::size_t m_;
+  std::size_t m_ = 0;
   std::vector<Meters> d_;      // (m+1)^2 row-major
   std::vector<Money> r_;       // m+1
   std::vector<TaskId> tasks_;  // m+1 (index 0 unused)

@@ -1,11 +1,13 @@
 #include "sim/simulator.h"
 
+#include <memory>
 #include <numeric>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "geo/distance.h"
+#include "select/candidate_pool.h"
 
 namespace mcs::sim {
 
@@ -43,21 +45,44 @@ std::vector<bool> open_tasks(const model::World& world,
   return open;
 }
 
+// The geometry every user session of the round shares: one pool row per
+// open task, in task-vector order (so make_instance can recover pool rows
+// by counting open slots). Pool rewards are the round-start prices; the
+// per-user instances re-read prices from the mechanism, because intra-round
+// mechanisms reprice between sessions — the pool only contributes the
+// candidate-distance block.
+std::shared_ptr<const select::CandidatePool> build_round_pool(
+    const model::World& world, const incentive::IncentiveMechanism& mechanism,
+    const std::vector<bool>& open) {
+  std::vector<select::Candidate> candidates;
+  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+    if (!open[i]) continue;
+    const model::Task& t = world.tasks()[i];
+    candidates.push_back({t.id(), t.location(), mechanism.reward(t.id())});
+  }
+  return std::make_shared<const select::CandidatePool>(std::move(candidates));
+}
+
 select::SelectionInstance make_instance(
     const model::World& world, const incentive::IncentiveMechanism& mechanism,
-    const model::User& u, const std::vector<bool>& open, geo::Point start,
+    const model::User& u, const std::vector<bool>& open,
+    std::shared_ptr<const select::CandidatePool> pool, geo::Point start,
     Seconds time_budget) {
   select::SelectionInstance inst;
   inst.start = start;
   inst.travel = world.travel();
   inst.time_budget = time_budget;
+  inst.pool = std::move(pool);
+  std::int32_t pool_row = -1;
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
     if (!open[i]) continue;
+    ++pool_row;  // every open task owns one pool row, contributed or not
     const model::Task& t = world.tasks()[i];
     if (t.has_contributed(u.id())) continue;
     const Money reward = mechanism.reward(t.id());
     if (reward <= 0.0) continue;
     inst.candidates.push_back({t.id(), t.location(), reward});
+    inst.pool_index.push_back(pool_row);
   }
   return inst;
 }
@@ -70,10 +95,11 @@ std::vector<select::SelectionInstance> Simulator::peek_instances() {
   mechanism_->update_rewards(world_, k);
   std::vector<bool> open = open_tasks(world_, *mechanism_, k);
   apply_withdrawals(open, k);
+  const auto pool = build_round_pool(world_, *mechanism_, open);
   std::vector<select::SelectionInstance> out;
   out.reserve(world_.num_users());
   for (const model::User& u : world_.users()) {
-    out.push_back(make_instance(world_, *mechanism_, u, open, u.home(),
+    out.push_back(make_instance(world_, *mechanism_, u, open, pool, u.home(),
                                 u.time_budget()));
   }
   return out;
@@ -127,10 +153,15 @@ const RoundMetrics& Simulator::step() {
   // mean is re-recorded from the session prices below.
   for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
     if (!open[i]) continue;
-    rm.mean_open_reward += mechanism_->reward(static_cast<TaskId>(i));
+    // Query by the task's id, not its vector position — ids need not be
+    // dense (same bug class as the DemandIndicator position/id mixup).
+    rm.mean_open_reward += mechanism_->reward(world_.tasks()[i].id());
     ++rm.open_tasks;
   }
   if (rm.open_tasks > 0) rm.mean_open_reward /= rm.open_tasks;
+
+  // Shared geometry for every selection instance of this round.
+  const auto pool = build_round_pool(world_, *mechanism_, open);
 
   // Intra-round price recording: mean published price per user session,
   // averaged over the sessions that had at least one priced task.
@@ -171,7 +202,7 @@ const RoundMetrics& Simulator::step() {
       int session_open = 0;
       for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
         if (!open[i]) continue;
-        const Money reward = mechanism_->reward(static_cast<TaskId>(i));
+        const Money reward = mechanism_->reward(world_.tasks()[i].id());
         if (reward <= 0.0) continue;
         session_sum += reward;
         ++session_open;
@@ -183,7 +214,7 @@ const RoundMetrics& Simulator::step() {
     }
 
     const select::SelectionInstance inst = make_instance(
-        world_, *mechanism_, u, open, u.location(), u.time_budget());
+        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
 
     const select::Selection sel = selector_->select(inst);
     MCS_ASSERT(select::is_feasible(inst, sel),

@@ -122,6 +122,21 @@ TEST(ParallelRunner, DpVsGreedyBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.differences, b.differences);
 }
 
+TEST(ParallelRunner, DpSelectorThreadedBitIdenticalToSerial) {
+  // The optimized DP keeps a scratch arena per selector; the runner builds
+  // one simulator (and thus one selector) per repetition, so repetitions
+  // fanned out across threads must stay bit-identical to a serial run.
+  ExperimentConfig serial = small_config();
+  serial.selector = select::SelectorKind::kDp;
+  serial.scenario.num_users = 25;
+  serial.repetitions = 4;
+  const AggregateResult base = run_experiment(serial);
+
+  ExperimentConfig threaded = serial;
+  threaded.threads = 4;
+  expect_aggregate_identical(base, run_experiment(threaded));
+}
+
 TEST(ParallelRunner, MoreThreadsThanRepetitionsIsFine) {
   ExperimentConfig cfg = small_config();
   cfg.repetitions = 2;

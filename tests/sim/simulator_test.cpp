@@ -5,8 +5,10 @@
 #include <set>
 
 #include "common/error.h"
+#include "geo/distance.h"
 #include "incentive/fixed_mechanism.h"
 #include "incentive/on_demand_mechanism.h"
+#include "select/candidate_pool.h"
 #include "select/selector.h"
 #include "sim/scenario.h"
 
@@ -222,6 +224,72 @@ TEST(Simulator, ConstructionValidation) {
   auto mech = std::make_unique<FixedMechanism>(RewardRule(0.5, 0.5, 5),
                                                std::vector<int>{1, 1});
   EXPECT_THROW(Simulator(tiny_world(), std::move(mech), nullptr, {}), Error);
+}
+
+// Pays 1 + id/10 dollars for every open task, keyed strictly by task id —
+// valid for worlds whose ids are not dense vector positions.
+class IdKeyedMechanism final : public incentive::IncentiveMechanism {
+ public:
+  explicit IdKeyedMechanism(TaskId max_id) {
+    rewards_.assign(static_cast<std::size_t>(max_id) + 1, 0.0);
+  }
+  const char* name() const override { return "id-keyed"; }
+  void update_rewards(const model::World& world, Round k) override {
+    for (const model::Task& t : world.tasks()) {
+      rewards_[static_cast<std::size_t>(t.id())] =
+          (t.completed() || t.expired_at(k))
+              ? 0.0
+              : 1.0 + 0.1 * static_cast<double>(t.id());
+    }
+  }
+};
+
+TEST(Simulator, RoundMetricsIndexRewardsByTaskIdNotPosition) {
+  // Regression: the mean_open_reward snapshot used to query
+  // mechanism->reward(position). With ids {10, 20, 31} that read rewards
+  // the mechanism never published (same bug class as the DemandIndicator
+  // position/id mixup fixed in PR 1).
+  model::World w(geo::BoundingBox::square(1000.0), geo::TravelModel{}, 200.0);
+  w.tasks().emplace_back(TaskId{10}, geo::Point{100, 0}, Round{5}, 1);
+  w.tasks().emplace_back(TaskId{20}, geo::Point{200, 0}, Round{5}, 1);
+  w.tasks().emplace_back(TaskId{31}, geo::Point{900, 900}, Round{5}, 1);
+  w.add_user({0, 0}, 600.0);
+
+  auto sel = select::make_selector(select::SelectorKind::kDp);
+  Simulator s(std::move(w), std::make_unique<IdKeyedMechanism>(31),
+              std::move(sel), {});
+  const RoundMetrics& rm = s.step();
+  EXPECT_EQ(rm.open_tasks, 3);
+  EXPECT_DOUBLE_EQ(rm.mean_open_reward, (2.0 + 3.0 + 4.1) / 3.0);
+  // The campaign itself runs on id-keyed lookups too: the user reached the
+  // two nearby tasks and was paid their published (id-keyed) rewards.
+  EXPECT_EQ(s.world().task(10).received(), 1);
+  EXPECT_EQ(s.world().task(20).received(), 1);
+  EXPECT_DOUBLE_EQ(s.world().task(10).measurements()[0].reward_paid, 2.0);
+  EXPECT_DOUBLE_EQ(s.world().task(20).measurements()[0].reward_paid, 3.0);
+}
+
+TEST(Simulator, PeekInstancesShareRoundPool) {
+  // Every instance of a round points at one shared CandidatePool whose
+  // distance block matches a direct recomputation.
+  Simulator s = make_sim(tiny_world());
+  const auto instances = s.peek_instances();
+  ASSERT_EQ(instances.size(), 3u);
+  const auto& pool = instances[0].pool;
+  ASSERT_NE(pool, nullptr);
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.pool.get(), pool.get());
+    ASSERT_TRUE(inst.has_pool());
+    for (std::size_t i = 0; i < inst.candidates.size(); ++i) {
+      const auto row = static_cast<std::size_t>(inst.pool_index[i]);
+      EXPECT_EQ(pool->candidates()[row].task, inst.candidates[i].task);
+      for (std::size_t j = 0; j < inst.candidates.size(); ++j) {
+        EXPECT_EQ(pool->dist(row, static_cast<std::size_t>(inst.pool_index[j])),
+                  geo::euclidean(inst.candidates[i].location,
+                                 inst.candidates[j].location));
+      }
+    }
+  }
 }
 
 }  // namespace
