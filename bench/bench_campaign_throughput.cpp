@@ -64,6 +64,29 @@ void BM_Campaign(benchmark::State& state, select::SelectorKind kind) {
       static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
 }
 
+// Intra-campaign plan-thread scaling: ONE campaign per iteration (a single
+// repetition, the shape where repetition fan-out cannot help) at user
+// counts 100 / 1k / 10k, with the per-user planning phase running on
+// state.range(1) workers. plan_threads = 1 is the serial baseline; the
+// campaign is bit-identical across thread counts, so the ratio between the
+// two series is pure plan-phase speedup. Single repetition by design —
+// this is the results/BENCH_campaign.json scaling artifact.
+void BM_CampaignPlanThreads(benchmark::State& state) {
+  exp::ExperimentConfig cfg = make_config(select::SelectorKind::kDp,
+                                          static_cast<int>(state.range(0)));
+  cfg.plan_threads = static_cast<int>(state.range(1));
+  std::int64_t user_rounds = 0;
+  for (auto _ : state) {
+    const exp::RepetitionResult rep = exp::run_repetition(cfg, 0xca3917a1ULL);
+    benchmark::DoNotOptimize(rep.campaign.total_paid);
+    user_rounds += static_cast<std::int64_t>(rep.rounds.size()) *
+                   cfg.scenario.num_users;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["user_rounds"] = benchmark::Counter(
+      static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
+}
+
 void BM_CampaignThreaded(benchmark::State& state, select::SelectorKind kind) {
   exp::ExperimentConfig cfg =
       make_config(kind, static_cast<int>(state.range(0)));
@@ -92,4 +115,7 @@ BENCHMARK_CAPTURE(BM_Campaign, branch_bound,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_CampaignThreaded, dp, mcs::select::SelectorKind::kDp)
     ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignPlanThreads)
+    ->ArgsProduct({{100, 1000, 10000}, {1, 8}})
     ->Unit(benchmark::kMillisecond);

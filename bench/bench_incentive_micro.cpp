@@ -1,15 +1,35 @@
 // Microbenchmarks for the platform-side per-round work: AHP weight
 // extraction, demand evaluation over a full world, neighbor counting via
-// the spatial grid, and a whole simulated round.
+// the spatial grid, repricing, and a whole simulated round.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "ahp/comparison_matrix.h"
 #include "ahp/weights.h"
 #include "common/rng.h"
 #include "incentive/demand.h"
+#include "incentive/demand_level.h"
 #include "incentive/on_demand_mechanism.h"
+#include "incentive/reward.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
+
+// Global heap instrumentation: counts every operator-new call in the
+// process so the steady-state benches below can assert their hot loop is
+// allocation-free (allocs_per_iter == 0). Counting only — the default
+// malloc still serves the request.
+std::atomic<std::uint64_t> g_new_calls{0};
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -65,6 +85,62 @@ void BM_NeighborCounts(benchmark::State& state) {
   }
 }
 
+// Steady-state on-demand repricing across rounds: after the first round
+// warms the member buffers (demands, levels, rewards, neighbor cache) the
+// per-round update must not touch the heap at all. The allocs_per_iter
+// counter is the regression guard — it reads 0.00 when the path is clean.
+void BM_UpdateRewardsSteadyState(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.num_tasks = static_cast<int>(state.range(0));
+  params.num_users = 100;
+  Rng rng(7);
+  const model::World world = sim::generate_world(params, rng);
+  // Budget scales with the task set (the stock 1000/400 = $2.5 per
+  // required measurement) so Eq. 9 keeps a positive base reward at every
+  // panel size.
+  const incentive::RewardRule rule = incentive::RewardRule::from_budget(
+      2.5 * static_cast<double>(world.total_required()),
+      world.total_required(), 0.5, 5);
+  incentive::OnDemandMechanism mech(
+      incentive::DemandIndicator::with_paper_defaults(),
+      incentive::DemandLevelScale(5), rule);
+  mech.update_rewards(world, 1);  // warm every buffer
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    mech.update_rewards(world, 2);
+    benchmark::DoNotOptimize(mech.rewards().data());
+    ++iters;
+  }
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+  state.counters["allocs_per_iter"] = iters == 0
+                                          ? 0.0
+                                          : static_cast<double>(after - before) /
+                                                static_cast<double>(iters);
+}
+
+// Intra-round incremental repricing: one dirty task against the full-scan
+// alternative (BM_UpdateRewardsSteadyState above is exactly that scan).
+void BM_RepriceDirtySession(benchmark::State& state) {
+  sim::ScenarioParams params;
+  params.num_tasks = static_cast<int>(state.range(0));
+  params.num_users = 100;
+  Rng rng(7);
+  model::World world = sim::generate_world(params, rng);
+  const incentive::RewardRule rule = incentive::RewardRule::from_budget(
+      2.5 * static_cast<double>(world.total_required()),
+      world.total_required(), 0.5, 5);
+  incentive::OnDemandMechanism mech(
+      incentive::DemandIndicator::with_paper_defaults(),
+      incentive::DemandLevelScale(5), rule);
+  mech.update_rewards(world, 1);
+  const std::vector<std::size_t> dirty = {0};
+  for (auto _ : state) {
+    mech.reprice(world, 1, dirty);
+    benchmark::DoNotOptimize(mech.rewards().data());
+  }
+}
+
 void BM_FullRound(benchmark::State& state) {
   sim::ScenarioParams params;
   params.num_users = static_cast<int>(state.range(0));
@@ -88,4 +164,6 @@ BENCHMARK(BM_AhpRowAverage)->Arg(3)->Arg(8)->Arg(15);
 BENCHMARK(BM_AhpEigenvector)->Arg(3)->Arg(8)->Arg(15);
 BENCHMARK(BM_DemandEvaluation)->Arg(20)->Arg(100)->Arg(500);
 BENCHMARK(BM_NeighborCounts)->Arg(40)->Arg(140)->Arg(1000);
+BENCHMARK(BM_UpdateRewardsSteadyState)->Arg(20)->Arg(100)->Arg(500);
+BENCHMARK(BM_RepriceDirtySession)->Arg(20)->Arg(100)->Arg(500);
 BENCHMARK(BM_FullRound)->Arg(40)->Arg(100)->Arg(140);

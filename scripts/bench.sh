@@ -10,7 +10,11 @@
 #       per-benchmark CPU-time speedups so the DP-optimization claim stays
 #       checkable from one file.
 #   results/BENCH_campaign.json  — bench_campaign_throughput (end-to-end
-#       campaigns/s per selector), verbatim google-benchmark JSON.
+#       campaigns/s per selector, plus the BM_CampaignPlanThreads
+#       plan-thread scaling sweep at 100/1k/10k users), merged with the
+#       committed pre-PR Release baseline
+#       (results/BENCH_campaign_baseline_pre_pr.json) and annotated with
+#       per-benchmark CPU-time speedups, same shape as BENCH_selector.json.
 #
 # Figure tables are deterministic (fixed seeds, thread-count invariant
 # aggregation), so regenerating them from a Release binary must reproduce
@@ -126,9 +130,44 @@ PY
   fi
   rm -f "${SELECTOR_TMP}"
 
+  CAMPAIGN_TMP="$(mktemp)"
   "./${BUILD}/bench/bench_campaign_throughput" "${MICRO_ARGS[@]+"${MICRO_ARGS[@]}"}" \
-    --benchmark_out=results/BENCH_campaign.json --benchmark_out_format=json \
+    --benchmark_out="${CAMPAIGN_TMP}" --benchmark_out_format=json \
     | tee results/bench_campaign_throughput.txt
+
+  # Same baseline fold as the selector suite: the pre-PR Release run rides
+  # along inside BENCH_campaign.json with CPU-time speedups per benchmark.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${CAMPAIGN_TMP}" results/BENCH_campaign_baseline_pre_pr.json \
+      results/BENCH_campaign.json <<'PY'
+import json, os, sys
+
+cur_path, base_path, out_path = sys.argv[1:4]
+with open(cur_path) as f:
+    cur = json.load(f)
+merged = {"current": cur}
+if os.path.exists(base_path):
+    with open(base_path) as f:
+        base = json.load(f)
+    merged["baseline_pre_pr"] = base
+
+    def cpu_times(run):
+        return {b["name"]: b["cpu_time"] for b in run.get("benchmarks", [])
+                if b.get("run_type", "iteration") == "iteration"}
+
+    b_t, c_t = cpu_times(base), cpu_times(cur)
+    merged["speedup_cpu_time_vs_baseline"] = {
+        name: round(b_t[name] / c_t[name], 3)
+        for name in c_t if name in b_t and c_t[name] > 0.0
+    }
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PY
+  else
+    cp "${CAMPAIGN_TMP}" results/BENCH_campaign.json
+  fi
+  rm -f "${CAMPAIGN_TMP}"
 
   "./${BUILD}/bench/bench_incentive_micro" "${MICRO_ARGS[@]+"${MICRO_ARGS[@]}"}" \
     | tee results/bench_incentive_micro.txt

@@ -45,8 +45,11 @@ if [[ "${SKIP_TSAN}" == "1" ]]; then
 else
   cmake -B build-tsan -S . -DMCS_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target test_common test_integration test_sim
+  # PlanEquivalence drives the parallel plan / serial commit path at thread
+  # counts 2 and 8 — the only concurrent region inside a simulator — so it
+  # must stay in the TSan net alongside the pool/runner suites.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator'
+    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|RepriceEquivalence'
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -64,13 +67,26 @@ if [[ "${SKIP_RELEASE}" == "1" ]]; then
 else
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "${JOBS}" \
-    --target test_select bench_selector_scaling bench_campaign_throughput
+    --target test_select test_sim test_incentive test_model \
+    bench_selector_scaling bench_campaign_throughput bench_incentive_micro
+  # Selector equivalence plus the new plan/reprice/neighbor-cache
+  # equivalence suites at the optimization level performance numbers are
+  # quoted at (bit-identity claims must hold under -O3 as well).
   ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
-    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector'
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_Campaign/greedy/50' >/dev/null
+    --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8' >/dev/null
+  # The steady-state repricing path must stay allocation-free; the bench
+  # counts operator-new calls per iteration and reports them as a counter.
+  ALLOC_OUT="$(./build-release/bench/bench_incentive_micro --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_UpdateRewardsSteadyState/100')"
+  echo "${ALLOC_OUT}" | tail -n 1
+  if ! grep -Eq 'allocs_per_iter=0($|[^.0-9])' <<<"${ALLOC_OUT}"; then
+    echo "tier1: BM_UpdateRewardsSteadyState allocates in steady state" >&2
+    exit 1
+  fi
 fi
 
 echo "tier1: OK"

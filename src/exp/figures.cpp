@@ -21,6 +21,17 @@ int threads_default_from_env() {
   return parsed < 0 ? 0 : static_cast<int>(parsed);
 }
 
+// Default plan-thread count when no --plan-threads flag is given: the
+// MCS_PLAN_THREADS environment variable if set, otherwise 1 (serial
+// planning — repetition fan-out already saturates the cores for the stock
+// experiment panels).
+int plan_threads_default_from_env() {
+  const char* env = std::getenv("MCS_PLAN_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed < 0 ? 1 : static_cast<int>(parsed);
+}
+
 }  // namespace
 
 ExperimentConfig experiment_from_config(const Config& cfg) {
@@ -75,6 +86,10 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   e.threads =
       static_cast<int>(cfg.get_int("threads", threads_default_from_env()));
   MCS_CHECK(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
+  e.plan_threads = static_cast<int>(
+      cfg.get_int("plan-threads", plan_threads_default_from_env()));
+  MCS_CHECK(e.plan_threads >= 0,
+            "--plan-threads must be >= 0 (0 = all cores, 1 = serial)");
   return e;
 }
 
@@ -204,6 +219,9 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " seed=" << cfg.seed << " threads="
             << (cfg.threads == 0 ? std::string("auto")
                                  : std::to_string(cfg.threads))
+            << " plan-threads="
+            << (cfg.plan_threads == 0 ? std::string("auto")
+                                      : std::to_string(cfg.plan_threads))
             << "\n";
   if (cfg.faults.any()) {
     std::cout << "faults: dropout=" << cfg.faults.dropout_prob

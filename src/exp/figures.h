@@ -19,7 +19,9 @@ namespace mcs::exp {
 /// user-budget-min/max, speed, cost-per-meter, mechanism, selector, dp-cap,
 /// rounds, reps, seed, threads (0 = one worker per hardware thread; the
 /// MCS_THREADS environment variable supplies the default when the flag is
-/// absent — results are bit-identical whatever the value), and the
+/// absent — results are bit-identical whatever the value), plan-threads
+/// (per-simulator planning workers, default 1/MCS_PLAN_THREADS; likewise
+/// bit-identical at any value), and the
 /// fault-injection rates dropout, abandon, loss, corrupt, corrupt-noise,
 /// withdraw, fault-seed (see sim/faults.h; all default to zero faults).
 ExperimentConfig experiment_from_config(const Config& cfg);

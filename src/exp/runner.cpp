@@ -28,6 +28,7 @@ sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
   // Fault draws mix the plan seed with order_seed (itself a pure function
   // of the repetition seed), so every repetition faults independently.
   sp.faults = cfg.faults;
+  sp.plan_threads = cfg.plan_threads;
   return sim::Simulator(std::move(world), std::move(mechanism),
                         std::move(selector), sp,
                         sim::make_mobility(cfg.mobility, cfg.drift_sigma));

@@ -37,6 +37,15 @@ struct ExperimentConfig {
   // merged in repetition order, so every aggregate is bit-identical whatever
   // this is set to. Benches expose it as --threads / MCS_THREADS.
   int threads = 0;
+  // Worker threads for each simulator's per-user planning phase
+  // (SimulatorParams::plan_threads): 1 = serial (default), 0 = one per
+  // hardware thread, n = exactly n. Only round-granularity mechanisms
+  // parallelize; campaigns stay bit-identical at any value. Benches expose
+  // it as --plan-threads / MCS_PLAN_THREADS. Composes with `threads`:
+  // total concurrency is roughly threads * plan_threads, so prefer
+  // repetition fan-out when there are many repetitions and plan threads
+  // when a single large campaign dominates.
+  int plan_threads = 1;
   // Fault injection applied to every repetition's campaign (sim/faults.h).
   // Fault draws derive from the repetition seed, so they are independent
   // across repetitions and bit-reproducible at any thread count. Benches

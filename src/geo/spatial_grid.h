@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "geo/bbox.h"
+#include "geo/distance.h"
 #include "geo/point.h"
 
 namespace mcs::geo {
@@ -36,6 +37,27 @@ class SpatialGrid {
 
   /// Number of points within the radius; avoids materializing ids.
   std::size_t count_radius(Point center, double radius) const;
+
+  /// Visit every id with distance(center, p) <= radius without allocating.
+  /// The hit predicate is exactly the one query_radius/count_radius use
+  /// (squared-distance compare), so callers doing incremental bookkeeping
+  /// see the same membership a full query would.
+  template <typename F>
+  void for_each_in_radius(Point center, double radius, F&& visit) const {
+    const double r2 = radius * radius;
+    int cx0, cy0, cx1, cy1;
+    cell_range(center, radius, cx0, cy0, cx1, cy1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        const auto& cell = cells_[static_cast<std::size_t>(cy) *
+                                      static_cast<std::size_t>(nx_) +
+                                  static_cast<std::size_t>(cx)];
+        for (const Entry& e : cell) {
+          if (squared_euclidean(center, e.p) <= r2) visit(e.id);
+        }
+      }
+    }
+  }
 
   /// Id of the nearest point, or -1 when the grid is empty. Distance is
   /// written to *out_distance when non-null.

@@ -87,19 +87,24 @@ std::vector<double> DemandIndicator::demands(const model::World& world,
 std::vector<double> DemandIndicator::demands(
     const model::World& world, Round k,
     const std::vector<int>& neighbor_counts) const {
+  std::vector<double> out;
+  demands_into(world, k, neighbor_counts, out);
+  return out;
+}
+
+void DemandIndicator::demands_into(const model::World& world, Round k,
+                                   const std::vector<int>& neighbor_counts,
+                                   std::vector<double>& out) const {
   MCS_CHECK(neighbor_counts.size() == world.num_tasks(),
             "one neighbor count per task");
   const int max_neighbors =
       neighbor_counts.empty()
           ? 0
           : *std::max_element(neighbor_counts.begin(), neighbor_counts.end());
-  std::vector<double> out;
-  out.reserve(world.num_tasks());
+  out.resize(world.num_tasks());
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
-    out.push_back(
-        demand(world.tasks()[i], k, neighbor_counts[i], max_neighbors));
+    out[i] = demand(world.tasks()[i], k, neighbor_counts[i], max_neighbors);
   }
-  return out;
 }
 
 double DemandIndicator::normalize(double demand) const {
@@ -113,6 +118,13 @@ std::vector<double> DemandIndicator::normalized_demands(
   std::vector<double> out = demands(world, k);
   for (double& d : out) d = normalize(d);
   return out;
+}
+
+void DemandIndicator::normalized_demands_into(
+    const model::World& world, Round k,
+    const std::vector<int>& neighbor_counts, std::vector<double>& out) const {
+  demands_into(world, k, neighbor_counts, out);
+  for (double& d : out) d = normalize(d);
 }
 
 }  // namespace mcs::incentive

@@ -86,11 +86,23 @@ class DemandIndicator {
   std::vector<double> demands(const model::World& world, Round k,
                               const std::vector<int>& neighbor_counts) const;
 
+  /// Allocation-free demands: writes into `out` (resized to match). The
+  /// mechanism hot path calls this once per publish with a reused member
+  /// buffer, so steady-state repricing allocates nothing.
+  void demands_into(const model::World& world, Round k,
+                    const std::vector<int>& neighbor_counts,
+                    std::vector<double>& out) const;
+
   /// Normalized demand in [0,1]: d / (lambda_max * ln 2)  (§IV-C).
   double normalize(double demand) const;
 
   std::vector<double> normalized_demands(const model::World& world,
                                          Round k) const;
+
+  /// Allocation-free normalized_demands over precomputed neighbor counts.
+  void normalized_demands_into(const model::World& world, Round k,
+                               const std::vector<int>& neighbor_counts,
+                               std::vector<double>& out) const;
 
  private:
   DemandParams params_;

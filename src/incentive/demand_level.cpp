@@ -34,9 +34,14 @@ double DemandLevelScale::bucket_high(int level) const {
 std::vector<int> DemandLevelScale::levels_for(
     const std::vector<double>& demands) const {
   std::vector<int> out;
-  out.reserve(demands.size());
-  for (const double d : demands) out.push_back(level(d));
+  levels_into(demands, out);
   return out;
+}
+
+void DemandLevelScale::levels_into(const std::vector<double>& demands,
+                                   std::vector<int>& out) const {
+  out.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) out[i] = level(demands[i]);
 }
 
 }  // namespace mcs::incentive

@@ -24,6 +24,11 @@ class DemandLevelScale {
 
   std::vector<int> levels_for(const std::vector<double>& demands) const;
 
+  /// Allocation-free levels_for: writes into `out` (resized to match;
+  /// steady-state callers reusing one buffer never allocate).
+  void levels_into(const std::vector<double>& demands,
+                   std::vector<int>& out) const;
+
  private:
   int levels_;
 };

@@ -9,6 +9,12 @@
 
 namespace mcs::incentive {
 
+void IncentiveMechanism::reprice(const model::World& world, Round k,
+                                 const std::vector<std::size_t>& dirty_tasks) {
+  (void)dirty_tasks;
+  update_rewards(world, k);
+}
+
 Money IncentiveMechanism::reward(TaskId task) const {
   MCS_CHECK(task >= 0 && static_cast<std::size_t>(task) < rewards_.size(),
             "reward queried for unknown task (update_rewards not called?)");

@@ -7,6 +7,7 @@
 // the steered-crowdsensing baseline of Kawajiri et al.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,23 @@ class IncentiveMechanism {
   /// true; the simulator then refreshes rewards before each user instead of
   /// once per round. Round-granularity mechanisms keep the default.
   virtual bool updates_within_round() const { return false; }
+
+  /// Incremental intra-round repricing. Between two user sessions of one
+  /// round only a sliver of the world changes: the previous session's tasks
+  /// gained measurements (their positions arrive in `dirty_tasks`) and some
+  /// users moved (visible through World::neighbor_counts(), which is
+  /// delta-maintained). The simulator calls this instead of
+  /// update_rewards() before every session of a round that has already been
+  /// published with update_rewards(world, k).
+  ///
+  /// Contract: after reprice() returns, rewards() must be bit-identical to
+  /// what a full update_rewards(world, k) against the same world would
+  /// produce — incrementality is an implementation detail, never a
+  /// semantic. The default keeps that trivially true by recomputing in
+  /// full; mechanisms with a cheap dirty-path override it (the equivalence
+  /// suite pins steered's O(dirty) path against the full recompute).
+  virtual void reprice(const model::World& world, Round k,
+                       const std::vector<std::size_t>& dirty_tasks);
 
   /// Reward of task `task` at the current round (0 for tasks no longer
   /// asking for participants).

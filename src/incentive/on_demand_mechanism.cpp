@@ -1,5 +1,9 @@
 #include "incentive/on_demand_mechanism.h"
 
+#include <algorithm>
+
+#include "common/error.h"
+
 namespace mcs::incentive {
 
 OnDemandMechanism::OnDemandMechanism(DemandIndicator indicator,
@@ -7,13 +11,64 @@ OnDemandMechanism::OnDemandMechanism(DemandIndicator indicator,
     : indicator_(std::move(indicator)), scale_(scale), rule_(rule) {}
 
 void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
-  last_demands_ = indicator_.normalized_demands(world, k);
-  last_levels_ = scale_.levels_for(last_demands_);
+  const std::vector<int>& counts = world.neighbor_counts();
+  indicator_.normalized_demands_into(world, k, counts, last_demands_);
+  scale_.levels_into(last_demands_, last_levels_);
   rewards_.assign(world.num_tasks(), 0.0);
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
     const model::Task& t = world.tasks()[i];
     if (t.completed() || t.expired_at(k)) continue;  // withdrawn
     rewards_[i] = rule_.reward(last_levels_[i]);
+  }
+  last_counts_.assign(counts.begin(), counts.end());
+  last_max_neighbors_ =
+      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  last_round_ = k;
+  published_ = true;
+}
+
+void OnDemandMechanism::reprice_position(const model::World& world, Round k,
+                                         std::size_t pos, int neighbors,
+                                         int max_neighbors) {
+  // Mirrors one iteration of demands_into + normalize + levels_into +
+  // the pricing loop, in the same operation order, so the stored doubles
+  // are bit-identical to a full recompute.
+  const model::Task& t = world.tasks()[pos];
+  const double d =
+      indicator_.normalize(indicator_.demand(t, k, neighbors, max_neighbors));
+  last_demands_[pos] = d;
+  last_levels_[pos] = scale_.level(d);
+  rewards_[pos] = (t.completed() || t.expired_at(k))
+                      ? 0.0
+                      : rule_.reward(last_levels_[pos]);
+  last_counts_[pos] = neighbors;
+}
+
+void OnDemandMechanism::reprice(const model::World& world, Round k,
+                                const std::vector<std::size_t>& dirty_tasks) {
+  const std::size_t n = world.num_tasks();
+  if (!published_ || last_round_ != k || rewards_.size() != n ||
+      last_counts_.size() != n) {
+    update_rewards(world, k);
+    return;
+  }
+  const std::vector<int>& counts = world.neighbor_counts();
+  MCS_CHECK(counts.size() == n, "one neighbor count per task");
+  const int max_neighbors =
+      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  if (max_neighbors != last_max_neighbors_) {
+    // Nmax enters every task's X3 denominator: everything is dirty.
+    update_rewards(world, k);
+    return;
+  }
+  for (const std::size_t pos : dirty_tasks) {
+    MCS_CHECK(pos < n, "dirty task position out of range");
+    reprice_position(world, k, pos, counts[pos], max_neighbors);
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (counts[pos] != last_counts_[pos]) {
+      reprice_position(world, k, pos, counts[pos], max_neighbors);
+    }
   }
 }
 

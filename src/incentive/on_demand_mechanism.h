@@ -5,6 +5,8 @@
 // Eq. 7. Completed and expired tasks get reward 0 (they are withdrawn).
 #pragma once
 
+#include <cstddef>
+
 #include "incentive/demand.h"
 #include "incentive/demand_level.h"
 #include "incentive/mechanism.h"
@@ -19,7 +21,23 @@ class OnDemandMechanism final : public IncentiveMechanism {
 
   const char* name() const override { return "on-demand"; }
 
+  /// Allocation-free in steady state: demand/level/reward buffers are
+  /// members reused across rounds (pinned by bench_incentive_micro's
+  /// operator-new counter).
   void update_rewards(const model::World& world, Round k) override;
+
+  /// Incremental repricing. A task's price can change between two sessions
+  /// of one round only if (a) it gained a measurement (it is in
+  /// `dirty_tasks`), or (b) its neighbor count moved because a user walked
+  /// (detected by diffing the cached per-task counts), or (c) the global
+  /// max neighbor count Nmax changed, which perturbs X3 for *every* task —
+  /// that case falls back to the full recompute. X1 depends only on (k,
+  /// deadline) and is frozen within the round. Bit-identical to
+  /// update_rewards by the reprice() contract; per-session cost is
+  /// O(dirty + changed counts) transcendental work plus one O(T) integer
+  /// scan.
+  void reprice(const model::World& world, Round k,
+               const std::vector<std::size_t>& dirty_tasks) override;
 
   /// Introspection of the most recent update (for tests, traces and the
   /// Table III bench): normalized demands and levels per task.
@@ -33,11 +51,20 @@ class OnDemandMechanism final : public IncentiveMechanism {
   const DemandLevelScale& scale() const { return scale_; }
 
  private:
+  void reprice_position(const model::World& world, Round k, std::size_t pos,
+                        int neighbors, int max_neighbors);
+
   DemandIndicator indicator_;
   DemandLevelScale scale_;
   RewardRule rule_;
   std::vector<double> last_demands_;
   std::vector<int> last_levels_;
+  // Reprice bookkeeping: the neighbor counts and Nmax the current rewards_
+  // were priced against, and the round they were published for.
+  std::vector<int> last_counts_;
+  int last_max_neighbors_ = 0;
+  Round last_round_ = 0;
+  bool published_ = false;
 };
 
 }  // namespace mcs::incentive

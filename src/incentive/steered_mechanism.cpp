@@ -33,6 +33,26 @@ void SteeredMechanism::update_rewards(const model::World& world, Round k) {
     if (t.completed() || t.expired_at(k)) continue;
     rewards_[i] = reward_at(t.received());
   }
+  last_round_ = k;
+}
+
+void SteeredMechanism::reprice(const model::World& world, Round k,
+                               const std::vector<std::size_t>& dirty_tasks) {
+  if (last_round_ != k || rewards_.size() != world.num_tasks()) {
+    update_rewards(world, k);
+    return;
+  }
+  // Within the round k is fixed, so expiry cannot flip; completion only
+  // flips through a new measurement, which puts the task in the dirty set.
+  // Every untouched task therefore keeps the exact double a full recompute
+  // would reproduce.
+  for (const std::size_t i : dirty_tasks) {
+    MCS_CHECK(i < rewards_.size(), "dirty task position out of range");
+    const model::Task& t = world.tasks()[i];
+    rewards_[i] = (t.completed() || t.expired_at(k))
+                      ? 0.0
+                      : reward_at(t.received());
+  }
 }
 
 }  // namespace mcs::incentive

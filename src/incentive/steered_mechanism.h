@@ -14,7 +14,9 @@
 
 namespace mcs::incentive {
 
-class SteeredMechanism final : public IncentiveMechanism {
+// Non-final so the equivalence suite can subclass it with reprice()
+// overridden back to the full recompute as a reference oracle.
+class SteeredMechanism : public IncentiveMechanism {
  public:
   SteeredMechanism(Money rc, double mu, double delta);
 
@@ -24,6 +26,16 @@ class SteeredMechanism final : public IncentiveMechanism {
 
   /// Steered crowdsensing reprices after every user session.
   bool updates_within_round() const override { return true; }
+
+  /// O(dirty) intra-round repricing: R_ti^k depends only on the task's own
+  /// received count (and the fixed round constants), so between two
+  /// sessions only the tasks that just gained measurements can change
+  /// price. Falls back to the full recompute when the round or the task
+  /// set differs from the last published one. Bit-identical to
+  /// update_rewards by construction (reward_at is a pure function of the
+  /// received count); pinned by the repricing equivalence test.
+  void reprice(const model::World& world, Round k,
+               const std::vector<std::size_t>& dirty_tasks) override;
 
   /// Quality model Q(x) and its expected improvement dQ(x).
   double quality(int measurements) const;
@@ -36,6 +48,7 @@ class SteeredMechanism final : public IncentiveMechanism {
   Money rc_;
   double mu_;
   double delta_;
+  Round last_round_ = 0;  // round rewards_ was last fully published for
 };
 
 }  // namespace mcs::incentive

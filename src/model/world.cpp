@@ -42,31 +42,89 @@ const Task& World::task(TaskId id) const {
   return const_cast<World*>(this)->task(id);
 }
 
+// add_user() also assigns dense ids; the same scan fallback as task() keeps
+// hand-assembled worlds with arbitrary user ids working (same bug class as
+// the dense-TaskId fixes).
 User& World::user(UserId id) {
-  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < users_.size(),
-            "user id out of range");
-  return users_[static_cast<std::size_t>(id)];
+  if (id >= 0 && static_cast<std::size_t>(id) < users_.size() &&
+      users_[static_cast<std::size_t>(id)].id() == id) {
+    return users_[static_cast<std::size_t>(id)];
+  }
+  for (User& u : users_) {
+    if (u.id() == id) return u;
+  }
+  throw Error("unknown user id");
 }
 
 const User& World::user(UserId id) const {
-  MCS_CHECK(id >= 0 && static_cast<std::size_t>(id) < users_.size(),
-            "user id out of range");
-  return users_[static_cast<std::size_t>(id)];
+  return const_cast<World*>(this)->user(id);
 }
 
-std::vector<int> World::neighbor_counts() const {
+bool World::neighbor_cache_usable() const {
+  if (!ncache_.valid) return false;
+  if (ncache_.user_pos.size() != users_.size()) return false;
+  if (ncache_.task_pos.size() != tasks_.size()) return false;
+  // Task locations are immutable on Task, but the mutable tasks() accessor
+  // lets tests swap whole vectors; a cheap point compare catches that.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!(tasks_[i].location() == ncache_.task_pos[i])) return false;
+  }
+  return true;
+}
+
+void World::rebuild_neighbor_cache() const {
   // Cell size = query radius keeps the scan at a 3x3 cell neighborhood.
   const double cell =
       neighbor_radius_ > 0.0 ? neighbor_radius_ : area_.diameter();
-  geo::SpatialGrid grid(area_, cell);
-  for (const User& u : users_) grid.insert(u.id(), u.location());
-  std::vector<int> counts;
-  counts.reserve(tasks_.size());
-  for (const Task& t : tasks_) {
-    counts.push_back(
-        static_cast<int>(grid.count_radius(t.location(), neighbor_radius_)));
+  ncache_.user_grid.emplace(area_, cell);
+  ncache_.task_grid.emplace(area_, cell);
+  ncache_.user_pos.resize(users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    ncache_.user_pos[i] = users_[i].location();
+    ncache_.user_grid->insert(static_cast<std::int32_t>(i),
+                              ncache_.user_pos[i]);
   }
-  return counts;
+  ncache_.task_pos.resize(tasks_.size());
+  ncache_.counts.resize(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ncache_.task_pos[i] = tasks_[i].location();
+    ncache_.task_grid->insert(static_cast<std::int32_t>(i),
+                              ncache_.task_pos[i]);
+    ncache_.counts[i] = static_cast<int>(
+        ncache_.user_grid->count_radius(ncache_.task_pos[i],
+                                        neighbor_radius_));
+  }
+  ncache_.valid = true;
+}
+
+void World::sync_neighbor_cache() const {
+  // Delta update: a user who moved from p0 to p1 leaves the neighborhood of
+  // every task within radius of p0 and enters that of every task within
+  // radius of p1. The task grid answers both "tasks near p" queries with
+  // the exact predicate a full recount uses, so counts stay integer-exact.
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    const geo::Point now = users_[i].location();
+    if (now == ncache_.user_pos[i]) continue;
+    ncache_.user_grid->remove(static_cast<std::int32_t>(i),
+                              ncache_.user_pos[i]);
+    ncache_.user_grid->insert(static_cast<std::int32_t>(i), now);
+    ncache_.task_grid->for_each_in_radius(
+        ncache_.user_pos[i], neighbor_radius_,
+        [this](std::int32_t t) { --ncache_.counts[t]; });
+    ncache_.task_grid->for_each_in_radius(
+        now, neighbor_radius_,
+        [this](std::int32_t t) { ++ncache_.counts[t]; });
+    ncache_.user_pos[i] = now;
+  }
+}
+
+const std::vector<int>& World::neighbor_counts() const {
+  if (neighbor_cache_usable()) {
+    sync_neighbor_cache();
+  } else {
+    rebuild_neighbor_cache();
+  }
+  return ncache_.counts;
 }
 
 long long World::total_required() const {

@@ -3,6 +3,7 @@
 // simulator; incentive mechanisms and selectors observe it read-only.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -39,8 +40,20 @@ class World {
   std::vector<User>& users() { return users_; }
 
   /// N_i for every task: number of users within neighbor_radius of the task
-  /// location, computed with a spatial grid in O(n + m * r-cells).
-  std::vector<int> neighbor_counts() const;
+  /// location (one entry per task *position*). Backed by a persistent
+  /// spatial grid: the first call (and any call after the task set or the
+  /// population changed) builds the grid and counts every task; subsequent
+  /// calls diff the user positions against the last-synced snapshot and
+  /// delta-update only the counts of tasks near a moved user — O(moved)
+  /// instead of O(U + T·r-cells) per call, and allocation-free once warm.
+  /// The cache is synced lazily on read, so callers may move users through
+  /// User::set_location freely between calls. Counts are exact integers:
+  /// the delta path uses the same distance predicate as a full recount, so
+  /// the result is always identical to the brute-force O(U·T) scan.
+  /// NOT thread-safe (the cache mutates under const): concurrent readers
+  /// must hold distinct World instances, which is what the experiment
+  /// runner's one-simulator-per-repetition shape guarantees.
+  const std::vector<int>& neighbor_counts() const;
 
   /// Total number of measurements required across tasks (sum of phi_i);
   /// the denominator of Eq. 9.
@@ -53,11 +66,29 @@ class World {
   Money total_paid() const;
 
  private:
+  /// True when the cached grids still describe the current task set and
+  /// user-population size (locations may have drifted — that is what the
+  /// delta sync handles; adding/removing tasks or users forces a rebuild).
+  bool neighbor_cache_usable() const;
+  void rebuild_neighbor_cache() const;
+  void sync_neighbor_cache() const;
+
   geo::BoundingBox area_;
   geo::TravelModel travel_;
   Meters neighbor_radius_;
   std::vector<Task> tasks_;
   std::vector<User> users_;
+
+  // Lazily maintained neighbor-count cache (see neighbor_counts()).
+  struct NeighborCache {
+    bool valid = false;
+    std::optional<geo::SpatialGrid> user_grid;  // ids are user positions
+    std::optional<geo::SpatialGrid> task_grid;  // ids are task positions
+    std::vector<geo::Point> user_pos;           // last-synced user locations
+    std::vector<geo::Point> task_pos;           // task set at build time
+    std::vector<int> counts;                    // one per task position
+  };
+  mutable NeighborCache ncache_;
 };
 
 }  // namespace mcs::model

@@ -23,6 +23,10 @@ class BeamSearchSelector final : public TaskSelector {
 
   Selection select(const SelectionInstance& instance) const override;
 
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<BeamSearchSelector>(width_);
+  }
+
   int width() const { return width_; }
 
  private:

@@ -17,6 +17,10 @@ class BranchBoundSelector final : public TaskSelector {
   const char* name() const override { return "branch-bound"; }
 
   Selection select(const SelectionInstance& instance) const override;
+
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<BranchBoundSelector>();
+  }
 };
 
 }  // namespace mcs::select

@@ -16,6 +16,10 @@ class BruteForceSelector final : public TaskSelector {
 
   Selection select(const SelectionInstance& instance) const override;
 
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<BruteForceSelector>(max_candidates_);
+  }
+
  private:
   int max_candidates_;
 };

@@ -54,6 +54,10 @@ class DpSelector final : public TaskSelector {
 
   Selection select(const SelectionInstance& instance) const override;
 
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<DpSelector>(candidate_cap_);
+  }
+
   int candidate_cap() const { return candidate_cap_; }
 
  private:

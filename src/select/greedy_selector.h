@@ -21,6 +21,10 @@ class GreedySelector final : public TaskSelector {
 
   Selection select(const SelectionInstance& instance) const override;
 
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<GreedySelector>(two_opt_);
+  }
+
  private:
   bool two_opt_;
 };

@@ -28,6 +28,10 @@ class IlsSelector final : public TaskSelector {
 
   Selection select(const SelectionInstance& instance) const override;
 
+  std::unique_ptr<TaskSelector> clone() const override {
+    return std::make_unique<IlsSelector>(iterations_, seed_);
+  }
+
   int iterations() const { return iterations_; }
 
  private:

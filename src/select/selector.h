@@ -18,6 +18,15 @@ class TaskSelector {
   /// never one with negative profit (doing nothing has profit 0, and users
   /// are rational).
   virtual Selection select(const SelectionInstance& instance) const = 0;
+
+  /// A fresh selector of the same kind and configuration. Scratch arenas
+  /// make select() non-reentrant (DESIGN.md §7), so the simulator's
+  /// parallel planning pass gives each worker its own clone. Selectors are
+  /// deterministic pure functions of the instance and their construction
+  /// parameters, so a clone returns bit-identical selections. The default
+  /// returns nullptr, which makes the simulator fall back to serial
+  /// planning for selectors that do not implement the hook.
+  virtual std::unique_ptr<TaskSelector> clone() const { return nullptr; }
 };
 
 enum class SelectorKind {

@@ -127,6 +127,208 @@ bool Simulator::all_tasks_closed() const {
   return true;
 }
 
+void Simulator::commit_session(Round k, model::User& u, std::size_t pos,
+                               const select::Selection& sel, RoundMetrics& rm,
+                               std::vector<std::size_t>* dirty) {
+  const UserId uid = u.id();
+
+  // Mid-tour abandonment: the user walks only the first `walked_legs`
+  // legs of the planned tour and pays travel for those legs alone.
+  const int planned_legs = static_cast<int>(sel.order.size());
+  int walked_legs = planned_legs;
+  if (faults_.enabled()) {
+    walked_legs = faults_.legs_completed(uid, k, planned_legs);
+    if (walked_legs < planned_legs) ++rm.abandoned_tours;
+  }
+
+  Money reward_earned = 0.0;
+  Meters walked = 0.0;
+  geo::Point at = u.location();
+  for (int li = 0; li < walked_legs; ++li) {
+    const TaskId id = sel.order[static_cast<std::size_t>(li)];
+    model::Task& t = world_.task(id);
+    const Money reward = mechanism_->reward(id);
+    const Meters leg = geo::euclidean(at, t.location());
+    walked += leg;
+    at = t.location();
+    if (faults_.enabled() && faults_.lose_upload(uid, id, k)) {
+      // The leg was walked but the upload never arrived: no payment, no
+      // task progress, and the user is not marked as a contributor — a
+      // later round may retry. The demand indicator keeps asking.
+      ++rm.lost_measurements;
+      rm.wasted_travel += leg;
+      events_.record({k, u.id(), id, 0.0, leg, /*accepted=*/false});
+      continue;
+    }
+    const bool corrupted =
+        faults_.enabled() && faults_.corrupt_upload(uid, id, k);
+    t.add_measurement(u.id(), k, reward);
+    u.mark_contributed(id);
+    budget_.pay(reward);
+    reward_earned += reward;
+    if (corrupted) ++rm.corrupted_measurements;
+    events_.record({k, u.id(), id, reward, leg, /*accepted=*/true,
+                    corrupted});
+    if (dirty != nullptr) {
+      // The task's vector position (tasks_ is contiguous): the dirty set
+      // speaks positions, matching the reprice() contract.
+      dirty->push_back(static_cast<std::size_t>(&t - world_.tasks().data()));
+    }
+  }
+  u.set_location(at);
+
+  // A fully walked tour is charged the selector's own distance (keeps the
+  // fault-free path bit-identical whatever accumulation a solver used);
+  // an abandoned one pays for the walked prefix only.
+  const Money cost = world_.travel().cost_for(
+      walked_legs == planned_legs ? sel.distance : walked);
+  u.add_earnings(reward_earned, cost);
+  // Profit rows are indexed by the user's *position* in world().users(),
+  // not by its id — ids need not be dense.
+  rm.user_profit[pos] = reward_earned - cost;
+  if (walked_legs > 0) ++rm.active_users;
+}
+
+void Simulator::run_sessions_intra_round(
+    Round k, const std::vector<bool>& open,
+    const std::shared_ptr<const select::CandidatePool>& pool,
+    const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm,
+    double& session_mean_sum, int& priced_sessions) {
+  // Task positions the previous session touched: between two sessions of
+  // one round only those tasks gained measurements, so the mechanism can
+  // reprice incrementally instead of rescanning the whole task set.
+  std::vector<std::size_t> dirty;
+  for (const std::uint32_t pos : visit_order) {
+    model::User& u = world_.users()[pos];
+    // Mobility advances for every user, dropped or not (the worker is
+    // somewhere that round; they just do not work) — fault draws therefore
+    // never shift the mobility stream.
+    u.set_location(
+        mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
+
+    if (faults_.enabled() && faults_.drop_user(u.id(), k)) {
+      // Offline this round: no session (so intra-round mechanisms see no
+      // repricing event either), no travel, zero profit. The dirty set
+      // carries over to the next surviving session.
+      ++rm.dropped_users;
+      continue;
+    }
+
+    mechanism_->reprice(world_, k, dirty);
+    dirty.clear();
+    // What this session was actually offered: the round's open tasks at
+    // their freshly published prices (price 0 = withdrawn, not published).
+    double session_sum = 0.0;
+    int session_open = 0;
+    for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
+      if (!open[i]) continue;
+      const Money reward = mechanism_->reward(world_.tasks()[i].id());
+      if (reward <= 0.0) continue;
+      session_sum += reward;
+      ++session_open;
+    }
+    if (session_open > 0) {
+      session_mean_sum += session_sum / session_open;
+      ++priced_sessions;
+    }
+
+    const select::SelectionInstance inst = make_instance(
+        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
+    const select::Selection sel = selector_->select(inst);
+    MCS_ASSERT(select::is_feasible(inst, sel),
+               "selector returned an infeasible tour");
+    commit_session(k, u, pos, sel, rm, &dirty);
+  }
+}
+
+bool Simulator::ensure_plan_workers(int threads) {
+  if (plan_pool_ && static_cast<int>(plan_selectors_.size()) == threads) {
+    return true;
+  }
+  plan_selectors_.clear();
+  plan_pool_.reset();
+  for (int i = 0; i < threads; ++i) {
+    std::unique_ptr<select::TaskSelector> c = selector_->clone();
+    if (c == nullptr) {
+      // Selector predates the clone() hook: plan serially.
+      plan_selectors_.clear();
+      return false;
+    }
+    plan_selectors_.push_back(std::move(c));
+  }
+  plan_pool_ = std::make_unique<ThreadPool>(threads);
+  return true;
+}
+
+void Simulator::run_sessions_planned(
+    Round k, const std::vector<bool>& open,
+    const std::shared_ptr<const select::CandidatePool>& pool,
+    const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm) {
+  const std::size_t n_users = world_.num_users();
+
+  // Serial pre-pass in visit order: the mobility rng is one sequential
+  // stream, so its draws must happen user-by-user exactly as the serial
+  // interleaving would. Dropout draws are pure hashes (order-free) but are
+  // taken here so the plan phase knows whom to skip.
+  std::vector<char> dropped(n_users, 0);
+  for (const std::uint32_t pos : visit_order) {
+    model::User& u = world_.users()[pos];
+    u.set_location(
+        mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
+    if (faults_.enabled() && faults_.drop_user(u.id(), k)) dropped[pos] = 1;
+  }
+
+  // Plan phase. Prices, the open set and the pool are frozen for the whole
+  // round, and a user's instance depends only on that frozen state plus the
+  // user's own location and contributed set — nothing another user's
+  // session changes. Plans are therefore order-free: compute them
+  // concurrently into per-user slots. Feasibility is checked here (while
+  // the instance is still alive) and only asserted at commit.
+  std::vector<select::Selection> plans(n_users);
+  std::vector<char> feasible(n_users, 1);
+  const auto plan_user = [&](const select::TaskSelector& solver,
+                             std::size_t pos) {
+    const model::User& u = world_.users()[pos];
+    const select::SelectionInstance inst = make_instance(
+        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
+    plans[pos] = solver.select(inst);
+    feasible[pos] = select::is_feasible(inst, plans[pos]) ? 1 : 0;
+  };
+
+  const int threads = resolve_threads(params_.plan_threads);
+  if (threads <= 1 || n_users <= 1 || !ensure_plan_workers(threads)) {
+    for (std::size_t pos = 0; pos < n_users; ++pos) {
+      if (!dropped[pos]) plan_user(*selector_, pos);
+    }
+  } else {
+    // One selector clone per shard: DP/greedy scratch arenas are not
+    // reentrant (DESIGN.md §7), so concurrent plans never share a solver.
+    const std::size_t shards = plan_selectors_.size();
+    for (std::size_t s = 0; s < shards; ++s) {
+      plan_pool_->submit([&, s] {
+        const select::TaskSelector& solver = *plan_selectors_[s];
+        for (std::size_t pos = s; pos < n_users; pos += shards) {
+          if (!dropped[pos]) plan_user(solver, pos);
+        }
+      });
+    }
+    plan_pool_->wait_idle();
+  }
+
+  // Commit phase: serial, in the round's shuffled visit order — payments,
+  // deliveries, events and the remaining fault draws (abandonment, upload
+  // loss/corruption: pure hashes) replay exactly as the serial loop would.
+  for (const std::uint32_t pos : visit_order) {
+    if (dropped[pos]) {
+      ++rm.dropped_users;
+      continue;
+    }
+    MCS_ASSERT(feasible[pos] != 0, "selector returned an infeasible tour");
+    commit_session(k, world_.users()[pos], pos, plans[pos], rm,
+                   /*dirty=*/nullptr);
+  }
+}
+
 const RoundMetrics& Simulator::step() {
   MCS_CHECK(next_round_ <= params_.max_rounds, "campaign already over");
   const Round k = next_round_;
@@ -171,103 +373,22 @@ const RoundMetrics& Simulator::step() {
   const long long before = world_.total_received();
   const Money paid_before = budget_.spent();
 
-  // Users take their sessions in a shuffled order each round.
-  std::vector<UserId> visit_order(world_.num_users());
-  std::iota(visit_order.begin(), visit_order.end(), UserId{0});
+  // Users take their sessions in a shuffled order each round. The order
+  // holds positions into world().users() (iota over 0..U-1 and the
+  // Fisher–Yates swaps are value-independent, so for dense ids this is the
+  // same permutation the id-typed order produced).
+  std::vector<std::uint32_t> visit_order(world_.num_users());
+  std::iota(visit_order.begin(), visit_order.end(), std::uint32_t{0});
   Rng order_rng(params_.order_seed +
                 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k));
   order_rng.shuffle(visit_order);
 
   // (3)+(4) Every user selects and performs a task set.
-  for (const UserId uid : visit_order) {
-    model::User& u = world_.user(uid);
-    // Mobility advances for every user, dropped or not (the worker is
-    // somewhere that round; they just do not work) — fault draws therefore
-    // never shift the mobility stream.
-    u.set_location(
-        mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
-
-    if (faults_.enabled() && faults_.drop_user(uid, k)) {
-      // Offline this round: no session (so intra-round mechanisms see no
-      // repricing event either), no travel, zero profit.
-      ++rm.dropped_users;
-      continue;
-    }
-
-    if (intra_round) {
-      mechanism_->update_rewards(world_, k);
-      // What this session was actually offered: the round's open tasks at
-      // their freshly published prices (price 0 = withdrawn, not published).
-      double session_sum = 0.0;
-      int session_open = 0;
-      for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
-        if (!open[i]) continue;
-        const Money reward = mechanism_->reward(world_.tasks()[i].id());
-        if (reward <= 0.0) continue;
-        session_sum += reward;
-        ++session_open;
-      }
-      if (session_open > 0) {
-        session_mean_sum += session_sum / session_open;
-        ++priced_sessions;
-      }
-    }
-
-    const select::SelectionInstance inst = make_instance(
-        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
-
-    const select::Selection sel = selector_->select(inst);
-    MCS_ASSERT(select::is_feasible(inst, sel),
-               "selector returned an infeasible tour");
-
-    // Mid-tour abandonment: the user walks only the first `walked_legs`
-    // legs of the planned tour and pays travel for those legs alone.
-    const int planned_legs = static_cast<int>(sel.order.size());
-    int walked_legs = planned_legs;
-    if (faults_.enabled()) {
-      walked_legs = faults_.legs_completed(uid, k, planned_legs);
-      if (walked_legs < planned_legs) ++rm.abandoned_tours;
-    }
-
-    Money reward_earned = 0.0;
-    Meters walked = 0.0;
-    geo::Point at = u.location();
-    for (int li = 0; li < walked_legs; ++li) {
-      const TaskId id = sel.order[static_cast<std::size_t>(li)];
-      model::Task& t = world_.task(id);
-      const Money reward = mechanism_->reward(id);
-      const Meters leg = geo::euclidean(at, t.location());
-      walked += leg;
-      at = t.location();
-      if (faults_.enabled() && faults_.lose_upload(uid, id, k)) {
-        // The leg was walked but the upload never arrived: no payment, no
-        // task progress, and the user is not marked as a contributor — a
-        // later round may retry. The demand indicator keeps asking.
-        ++rm.lost_measurements;
-        rm.wasted_travel += leg;
-        events_.record({k, u.id(), id, 0.0, leg, /*accepted=*/false});
-        continue;
-      }
-      const bool corrupted =
-          faults_.enabled() && faults_.corrupt_upload(uid, id, k);
-      t.add_measurement(u.id(), k, reward);
-      u.mark_contributed(id);
-      budget_.pay(reward);
-      reward_earned += reward;
-      if (corrupted) ++rm.corrupted_measurements;
-      events_.record({k, u.id(), id, reward, leg, /*accepted=*/true,
-                      corrupted});
-    }
-    u.set_location(at);
-
-    // A fully walked tour is charged the selector's own distance (keeps the
-    // fault-free path bit-identical whatever accumulation a solver used);
-    // an abandoned one pays for the walked prefix only.
-    const Money cost = world_.travel().cost_for(
-        walked_legs == planned_legs ? sel.distance : walked);
-    u.add_earnings(reward_earned, cost);
-    rm.user_profit[static_cast<std::size_t>(uid)] = reward_earned - cost;
-    if (walked_legs > 0) ++rm.active_users;
+  if (intra_round) {
+    run_sessions_intra_round(k, open, pool, visit_order, rm,
+                             session_mean_sum, priced_sessions);
+  } else {
+    run_sessions_planned(k, open, pool, visit_order, rm);
   }
 
   // For intra-round mechanisms the round-start snapshot is not what users

@@ -11,9 +11,11 @@
 // runs until `max_rounds` or until no open task remains.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "incentive/budget.h"
 #include "incentive/mechanism.h"
 #include "model/world.h"
@@ -38,6 +40,17 @@ struct SimulatorParams {
   // from their own hash-based stream (mixed from faults.seed and
   // order_seed), so they never perturb mobility or ordering draws.
   FaultPlan faults;
+  // Worker threads for the per-user planning phase of round-granularity
+  // mechanisms (updates_within_round() == false). 1 = plan serially
+  // (default); 0 = one worker per hardware thread; n = exactly n. Prices,
+  // the open set and the candidate pool are frozen at round start, so every
+  // user's selection instance and plan can be computed concurrently and
+  // committed serially in visit order — the campaign is bit-identical at
+  // any thread count (pinned by the plan-equivalence suite, including under
+  // TSan). Intra-round mechanisms reprice between sessions and always run
+  // serially regardless of this knob. Requires the selector to support
+  // clone(); selectors without it fall back to serial planning.
+  int plan_threads = 1;
 };
 
 class Simulator {
@@ -87,6 +100,39 @@ class Simulator {
   /// how many were withdrawn. No-op without faults.
   int apply_withdrawals(std::vector<bool>& open, Round k) const;
 
+  /// Serial session loop for intra-round mechanisms: mobility, dropout,
+  /// incremental reprice (dirty set = tasks the previous session touched),
+  /// plan and commit, one user at a time in visit order.
+  void run_sessions_intra_round(
+      Round k, const std::vector<bool>& open,
+      const std::shared_ptr<const select::CandidatePool>& pool,
+      const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm,
+      double& session_mean_sum, int& priced_sessions);
+
+  /// Parallel-plan / serial-commit session loop for round-granularity
+  /// mechanisms: a serial pre-pass advances mobility and dropout in visit
+  /// order (preserving the mobility rng stream), every surviving user's
+  /// plan is computed concurrently against the frozen round state, then
+  /// deliveries, payments and the remaining fault draws commit serially in
+  /// visit order. Bit-identical to the serial loop at any thread count.
+  void run_sessions_planned(
+      Round k, const std::vector<bool>& open,
+      const std::shared_ptr<const select::CandidatePool>& pool,
+      const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm);
+
+  /// Walk user `pos`'s planned tour: abandonment/upload fault draws,
+  /// deliveries, payments, event records and the user's profit row. When
+  /// `dirty` is non-null, the positions of tasks that gained a measurement
+  /// are appended (feeds the next session's incremental reprice).
+  void commit_session(Round k, model::User& u, std::size_t pos,
+                      const select::Selection& sel, RoundMetrics& rm,
+                      std::vector<std::size_t>* dirty);
+
+  /// Lazily build the plan pool plus one selector clone per worker
+  /// (selectors' scratch arenas are not reentrant — DESIGN.md §7). Returns
+  /// false when the selector is not clonable; callers then plan serially.
+  bool ensure_plan_workers(int threads);
+
   model::World world_;
   std::unique_ptr<incentive::IncentiveMechanism> mechanism_;
   std::unique_ptr<select::TaskSelector> selector_;
@@ -98,6 +144,10 @@ class Simulator {
   EventLog events_;
   Round next_round_ = 1;
   std::vector<RoundMetrics> history_;
+  // Plan-phase workers (round-granularity mechanisms only), created on
+  // first parallel round and reused across rounds.
+  std::unique_ptr<ThreadPool> plan_pool_;
+  std::vector<std::unique_ptr<select::TaskSelector>> plan_selectors_;
 };
 
 }  // namespace mcs::sim

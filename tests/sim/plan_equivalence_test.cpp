@@ -1,0 +1,217 @@
+// The parallel plan / serial commit contract: a campaign is bit-identical
+// at any plan-thread count, including the serial fallback for selectors
+// without clone(), and steered's incremental intra-round repricing matches
+// a full per-session recompute. These suites run under TSan in tier-1 (the
+// plan phase is the only concurrent region touching the world).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "incentive/mechanism.h"
+#include "incentive/steered_mechanism.h"
+#include "model/world.h"
+#include "select/selector.h"
+#include "sim/scenario.h"
+#include "sim/serialize.h"
+#include "sim/simulator.h"
+
+namespace mcs {
+namespace {
+
+sim::FaultPlan stress_faults() {
+  sim::FaultPlan f;
+  f.dropout_prob = 0.15;
+  f.abandon_prob = 0.2;
+  f.upload_loss_prob = 0.1;
+  f.seed = 7;
+  return f;
+}
+
+struct CampaignRun {
+  std::vector<sim::RoundMetrics> rounds;
+  Money spent = 0.0;
+  std::string world_json;
+};
+
+CampaignRun run_campaign(incentive::MechanismKind kind, bool faults,
+                         int plan_threads,
+                         std::unique_ptr<incentive::IncentiveMechanism>
+                             mechanism_override = nullptr) {
+  sim::ScenarioParams p;
+  p.num_users = 30;
+  p.num_tasks = 12;
+  p.required_measurements = 6;
+  Rng rng(4242);
+  model::World world = sim::generate_world(p, rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mechanism = mechanism_override
+                       ? std::move(mechanism_override)
+                       : incentive::make_mechanism(kind, world, {}, mech_rng);
+  auto selector = select::make_selector(select::SelectorKind::kDp, 14);
+  sim::SimulatorParams sp;
+  sp.max_rounds = 8;
+  sp.plan_threads = plan_threads;
+  if (faults) sp.faults = stress_faults();
+  sim::Simulator s(std::move(world), std::move(mechanism),
+                   std::move(selector), sp);
+  s.run();
+  CampaignRun out;
+  out.rounds = s.history();
+  out.spent = s.budget().spent();
+  out.world_json = sim::world_to_json(s.world()).dump(2);
+  return out;
+}
+
+void expect_bit_identical(const CampaignRun& a, const CampaignRun& b) {
+  // The serialized end world catches every task/user divergence byte for
+  // byte; the round histories catch ordering/accounting divergences.
+  EXPECT_EQ(a.world_json, b.world_json);
+  EXPECT_EQ(a.spent, b.spent);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t k = 0; k < a.rounds.size(); ++k) {
+    const sim::RoundMetrics& ra = a.rounds[k];
+    const sim::RoundMetrics& rb = b.rounds[k];
+    EXPECT_EQ(ra.new_measurements, rb.new_measurements) << "round " << k;
+    EXPECT_EQ(ra.active_users, rb.active_users) << "round " << k;
+    EXPECT_EQ(ra.open_tasks, rb.open_tasks) << "round " << k;
+    EXPECT_EQ(ra.dropped_users, rb.dropped_users) << "round " << k;
+    EXPECT_EQ(ra.abandoned_tours, rb.abandoned_tours) << "round " << k;
+    EXPECT_EQ(ra.lost_measurements, rb.lost_measurements) << "round " << k;
+    EXPECT_EQ(ra.payout, rb.payout) << "round " << k;
+    EXPECT_EQ(ra.mean_open_reward, rb.mean_open_reward) << "round " << k;
+    EXPECT_EQ(ra.wasted_travel, rb.wasted_travel) << "round " << k;
+    EXPECT_EQ(ra.user_profit, rb.user_profit) << "round " << k;
+  }
+}
+
+// {fixed, on-demand, steered} x {no faults, faulted} x plan threads {2, 8}
+// against the serial plan_threads = 1 run. Steered is intra-round (the knob
+// is a documented no-op there) and pins exactly that.
+TEST(PlanEquivalence, SerialAndParallelCampaignsBitIdentical) {
+  for (const auto kind :
+       {incentive::MechanismKind::kFixed, incentive::MechanismKind::kOnDemand,
+        incentive::MechanismKind::kSteered}) {
+    for (const bool faults : {false, true}) {
+      const CampaignRun serial = run_campaign(kind, faults, 1);
+      for (const int threads : {2, 8}) {
+        SCOPED_TRACE(std::string(incentive::mechanism_name(kind)) +
+                     (faults ? "/faults" : "/clean") + "/threads=" +
+                     std::to_string(threads));
+        expect_bit_identical(serial, run_campaign(kind, faults, threads));
+      }
+    }
+  }
+}
+
+TEST(PlanEquivalence, AutoThreadCountBitIdentical) {
+  const CampaignRun serial =
+      run_campaign(incentive::MechanismKind::kOnDemand, true, 1);
+  expect_bit_identical(
+      serial, run_campaign(incentive::MechanismKind::kOnDemand, true, 0));
+}
+
+// A selector that predates the clone() hook: the simulator must fall back
+// to serial planning rather than sharing one (non-reentrant) solver across
+// workers — and the campaign stays identical.
+class UncloneableSelector final : public select::TaskSelector {
+ public:
+  UncloneableSelector()
+      : inner_(select::make_selector(select::SelectorKind::kGreedy, 14)) {}
+  const char* name() const override { return "uncloneable"; }
+  select::Selection select(
+      const select::SelectionInstance& instance) const override {
+    return inner_->select(instance);
+  }
+  // clone() intentionally not overridden: the base returns nullptr.
+
+ private:
+  std::unique_ptr<select::TaskSelector> inner_;
+};
+
+TEST(PlanEquivalence, SelectorWithoutCloneFallsBackToSerial) {
+  auto run = [](int plan_threads) {
+    sim::ScenarioParams p;
+    p.num_users = 20;
+    p.num_tasks = 8;
+    p.required_measurements = 4;
+    Rng rng(99);
+    model::World world = sim::generate_world(p, rng);
+    Rng mech_rng = rng.split(0xfeed);
+    auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                          world, {}, mech_rng);
+    sim::SimulatorParams sp;
+    sp.max_rounds = 5;
+    sp.plan_threads = plan_threads;
+    sim::Simulator s(std::move(world), std::move(mech),
+                     std::make_unique<UncloneableSelector>(), sp);
+    s.run();
+    return sim::world_to_json(s.world()).dump(2);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// Non-dense user ids: worlds assembled through the mutable users() accessor
+// may carry arbitrary ids. step() must index profit rows (and everything
+// else) by user *position* — the old id-indexed write ran off the end of
+// rm.user_profit for ids >= num_users.
+TEST(PlanEquivalence, NonDenseUserIdsProfitRowsByPosition) {
+  geo::BoundingBox area{{0.0, 0.0}, {1000.0, 1000.0}};
+  model::World world(area, geo::TravelModel{2.0, 0.002}, 500.0);
+  world.add_task({100.0, 100.0}, /*deadline=*/5, /*required=*/3);
+  world.add_task({900.0, 900.0}, 5, 3);
+  world.users().emplace_back(UserId{70}, geo::Point{120.0, 120.0}, 600.0);
+  world.users().emplace_back(UserId{10}, geo::Point{880.0, 880.0}, 600.0);
+  world.users().emplace_back(UserId{55}, geo::Point{500.0, 500.0}, 600.0);
+  for (model::User& u : world.users()) u.return_home();
+
+  Rng mech_rng(1);
+  auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                        world, {}, mech_rng);
+  auto selector = select::make_selector(select::SelectorKind::kGreedy, 14);
+  sim::SimulatorParams sp;
+  sp.max_rounds = 3;
+  sim::Simulator s(std::move(world), std::move(mech), std::move(selector),
+                   sp);
+  const sim::RoundMetrics& rm = s.step();
+  ASSERT_EQ(rm.user_profit.size(), 3u);
+  // Each profit row matches its position's user (round 1 profit == lifetime
+  // profit after one round), not its id.
+  for (std::size_t pos = 0; pos < 3; ++pos) {
+    EXPECT_DOUBLE_EQ(rm.user_profit[pos],
+                     s.world().users()[pos].total_profit())
+        << "position " << pos;
+  }
+  EXPECT_GT(rm.active_users, 0);
+}
+
+// Reference oracle: steered with the incremental path disabled — reprice
+// always recomputes in full, exactly what the pre-optimization simulator
+// did before every session.
+class FullRepriceSteered final : public incentive::SteeredMechanism {
+ public:
+  using incentive::SteeredMechanism::SteeredMechanism;
+  void reprice(const model::World& world, Round k,
+               const std::vector<std::size_t>& dirty_tasks) override {
+    (void)dirty_tasks;
+    update_rewards(world, k);
+  }
+};
+
+TEST(RepriceEquivalence, SteeredIncrementalMatchesFullRecompute) {
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "faults" : "clean");
+    const CampaignRun incremental = run_campaign(
+        incentive::MechanismKind::kSteered, faults, 1,
+        std::make_unique<incentive::SteeredMechanism>(0.5, 10.0, 0.2));
+    const CampaignRun full = run_campaign(
+        incentive::MechanismKind::kSteered, faults, 1,
+        std::make_unique<FullRepriceSteered>(0.5, 10.0, 0.2));
+    expect_bit_identical(incremental, full);
+  }
+}
+
+}  // namespace
+}  // namespace mcs
