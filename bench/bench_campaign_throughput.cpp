@@ -87,6 +87,43 @@ void BM_CampaignPlanThreads(benchmark::State& state) {
       static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
 }
 
+// Cross-user plan memoization on the dense-POI workload it exists for:
+// users homed at a few shared sites with bucketized budgets, so most
+// selection instances within a round are bit-equal. range(0) = users,
+// range(1) = memo off/on; the campaign is bit-identical either way (pinned
+// by the PlanMemoEquivalence suite), so the off→on items_per_second ratio
+// is pure memoization speedup. The hit_rate counter is the fraction of
+// planned sessions served from the table; this pairing is the
+// results/BENCH_campaign.json memo artifact.
+void BM_CampaignMemo(benchmark::State& state) {
+  exp::ExperimentConfig cfg = make_config(select::SelectorKind::kDp,
+                                          static_cast<int>(state.range(0)));
+  cfg.scenario.home_sites = 64;
+  cfg.scenario.user_budget_quantum_s = 150.0;
+  // Dense cell: the same task set packed into a quarter of the stock area,
+  // so each user reaches ~half the open set and the per-user DP is real
+  // work — the regime where sharing solves pays.
+  cfg.scenario.area_side = 1500.0;
+  cfg.plan_memo = state.range(1) != 0;
+  std::int64_t user_rounds = 0;
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    const exp::RepetitionResult rep = exp::run_repetition(cfg, 0xca3917a1ULL);
+    benchmark::DoNotOptimize(rep.campaign.total_paid);
+    user_rounds += static_cast<std::int64_t>(rep.rounds.size()) *
+                   cfg.scenario.num_users;
+    const double hits = static_cast<double>(rep.campaign.plan_exact_hits +
+                                            rep.campaign.plan_fixup_hits);
+    const double lookups =
+        hits + static_cast<double>(rep.campaign.plan_misses);
+    hit_rate = lookups > 0.0 ? hits / lookups : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["user_rounds"] = benchmark::Counter(
+      static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
+  state.counters["hit_rate"] = hit_rate;
+}
+
 void BM_CampaignThreaded(benchmark::State& state, select::SelectorKind kind) {
   exp::ExperimentConfig cfg =
       make_config(kind, static_cast<int>(state.range(0)));
@@ -118,4 +155,7 @@ BENCHMARK_CAPTURE(BM_CampaignThreaded, dp, mcs::select::SelectorKind::kDp)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CampaignPlanThreads)
     ->ArgsProduct({{100, 1000, 10000}, {1, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignMemo)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);

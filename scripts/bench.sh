@@ -137,6 +137,9 @@ PY
 
   # Same baseline fold as the selector suite: the pre-PR Release run rides
   # along inside BENCH_campaign.json with CPU-time speedups per benchmark.
+  # The BM_CampaignMemo pairs are additionally distilled into a "plan_memo"
+  # section: campaigns/s with the memo off vs on, the off->on speedup and
+  # the memo hit rate, per user count.
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${CAMPAIGN_TMP}" results/BENCH_campaign_baseline_pre_pr.json \
       results/BENCH_campaign.json <<'PY'
@@ -160,6 +163,28 @@ if os.path.exists(base_path):
         name: round(b_t[name] / c_t[name], 3)
         for name in c_t if name in b_t and c_t[name] > 0.0
     }
+
+memo = {}
+for b in cur.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_CampaignMemo" or len(parts) < 3:
+        continue
+    users, memo_on = parts[1], parts[2] == "1"
+    entry = memo.setdefault(users, {})
+    key = "memo_on" if memo_on else "memo_off"
+    entry[key + "_campaigns_per_s"] = round(b.get("items_per_second", 0.0), 4)
+    if memo_on:
+        entry["hit_rate"] = round(b.get("hit_rate", 0.0), 4)
+for entry in memo.values():
+    off = entry.get("memo_off_campaigns_per_s")
+    on = entry.get("memo_on_campaigns_per_s")
+    if off and on:
+        entry["speedup_campaigns_per_s"] = round(on / off, 3)
+if memo:
+    merged["plan_memo"] = memo
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -48,8 +48,11 @@ else
   # PlanEquivalence drives the parallel plan / serial commit path at thread
   # counts 2 and 8 — the only concurrent region inside a simulator — so it
   # must stay in the TSan net alongside the pool/runner suites.
+  # PlanMemoEquivalence is the memo-equivalence stage: the memo's classify/
+  # solve/publish phases share the table across the same plan workers, and
+  # memoized campaigns must stay bit-identical (and race-free) under TSan.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|RepriceEquivalence'
+    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|PlanMemoEquivalence|RepriceEquivalence'
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -69,11 +72,13 @@ else
   cmake --build build-release -j "${JOBS}" \
     --target test_select test_sim test_incentive test_model \
     bench_selector_scaling bench_campaign_throughput bench_incentive_micro
-  # Selector equivalence plus the new plan/reprice/neighbor-cache
+  # Selector equivalence plus the plan/memo/reprice/neighbor-cache
   # equivalence suites at the optimization level performance numbers are
-  # quoted at (bit-identity claims must hold under -O3 as well).
+  # quoted at (bit-identity claims must hold under -O3 as well). PlanMemo
+  # covers both the unit proofs and the campaign-level memo equivalence;
+  # BudgetTracker pins the compensated-sum overdraft bound under -O3.
   ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
-    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache'
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
@@ -85,6 +90,20 @@ else
   echo "${ALLOC_OUT}" | tail -n 1
   if ! grep -Eq 'allocs_per_iter=0($|[^.0-9])' <<<"${ALLOC_OUT}"; then
     echo "tier1: BM_UpdateRewardsSteadyState allocates in steady state" >&2
+    exit 1
+  fi
+  # The reprice fast path must do no O(n) work: with one dirty task and an
+  # empty journal it reprices exactly 1 position (a fallback would read
+  # ~#tasks) and touches the heap zero times per iteration.
+  REPRICE_OUT="$(./build-release/bench/bench_incentive_micro --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_RepriceFastPath/100')"
+  echo "${REPRICE_OUT}" | tail -n 1
+  if ! grep -Eq 'repriced_per_iter=1($|[^.0-9])' <<<"${REPRICE_OUT}"; then
+    echo "tier1: BM_RepriceFastPath repriced more than the dirty set" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'allocs_per_iter=0($|[^.0-9])' <<<"${REPRICE_OUT}"; then
+    echo "tier1: BM_RepriceFastPath allocates in steady state" >&2
     exit 1
   fi
 fi

@@ -1,0 +1,26 @@
+// Hashing helpers for caches that key on composite values (for example the
+// plan memo's (start cell, budget bucket, candidate signature) key). These
+// hashes are used for bucketing only — every consumer re-verifies bucket
+// candidates by exact content comparison, so a collision costs a probe,
+// never correctness.
+#pragma once
+
+#include <cstdint>
+
+namespace mcs {
+
+/// SplitMix64 finalizer: a fast 64-bit bijection with good avalanche.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold `v` into a running hash. Not commutative: combining the same values
+/// in a different order yields a different hash.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace mcs

@@ -38,6 +38,11 @@ class RunningStats {
 /// (the "type 7" estimator used by R and NumPy). q in [0,1].
 double quantile(std::vector<double> values, double q);
 
+/// Same estimator over values the caller has already sorted ascending — no
+/// copy, no re-sort. Callers that need several quantiles of one sample
+/// (boxplot_summary) sort once and use this.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
 /// Five-number summary for box plots, plus 1.5·IQR whiskers and outliers,
 /// matching what Fig. 5(b) of the paper displays.
 struct BoxplotSummary {

@@ -32,6 +32,15 @@ int plan_threads_default_from_env() {
   return parsed < 0 ? 1 : static_cast<int>(parsed);
 }
 
+// Default for --plan-memo: the MCS_PLAN_MEMO environment variable ("1"
+// enables), otherwise off. Memoization never changes results; it is off by
+// default only because the stock panels' continuous user homes make hits
+// impossible, so the table would be pure overhead.
+bool plan_memo_default_from_env() {
+  const char* env = std::getenv("MCS_PLAN_MEMO");
+  return env != nullptr && *env == '1';
+}
+
 }  // namespace
 
 ExperimentConfig experiment_from_config(const Config& cfg) {
@@ -51,6 +60,9 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   s.user_budget_min_s = cfg.get_double("user-budget-min", s.user_budget_min_s);
   s.user_budget_max_s = cfg.get_double("user-budget-max", s.user_budget_max_s);
   s.neighbor_radius = cfg.get_double("radius", s.neighbor_radius);
+  s.home_sites = static_cast<int>(cfg.get_int("home-sites", s.home_sites));
+  s.user_budget_quantum_s =
+      cfg.get_double("budget-quantum", s.user_budget_quantum_s);
 
   incentive::MechanismParams& m = e.mech_params;
   m.platform_budget = cfg.get_double("budget", m.platform_budget);
@@ -90,6 +102,7 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
       cfg.get_int("plan-threads", plan_threads_default_from_env()));
   MCS_CHECK(e.plan_threads >= 0,
             "--plan-threads must be >= 0 (0 = all cores, 1 = serial)");
+  e.plan_memo = cfg.get_bool("plan-memo", plan_memo_default_from_env());
   return e;
 }
 
@@ -222,7 +235,7 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " plan-threads="
             << (cfg.plan_threads == 0 ? std::string("auto")
                                       : std::to_string(cfg.plan_threads))
-            << "\n";
+            << " plan-memo=" << (cfg.plan_memo ? "on" : "off") << "\n";
   if (cfg.faults.any()) {
     std::cout << "faults: dropout=" << cfg.faults.dropout_prob
               << " abandon=" << cfg.faults.abandon_prob

@@ -29,6 +29,7 @@ sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
   // of the repetition seed), so every repetition faults independently.
   sp.faults = cfg.faults;
   sp.plan_threads = cfg.plan_threads;
+  sp.memo.enabled = cfg.plan_memo;
   return sim::Simulator(std::move(world), std::move(mechanism),
                         std::move(selector), sp,
                         sim::make_mobility(cfg.mobility, cfg.drift_sigma));

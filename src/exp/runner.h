@@ -46,6 +46,13 @@ struct ExperimentConfig {
   // repetition fan-out when there are many repetitions and plan threads
   // when a single large campaign dominates.
   int plan_threads = 1;
+  // Cross-user plan memoization (SimulatorParams::memo): provably
+  // equivalent selection instances within a round share one solve.
+  // Campaigns stay bit-identical with it on or off; it only pays when many
+  // users share a start location and budget (dense home sites — see
+  // ScenarioParams::home_sites). Benches expose it as --plan-memo /
+  // MCS_PLAN_MEMO.
+  bool plan_memo = false;
   // Fault injection applied to every repetition's campaign (sim/faults.h).
   // Fault draws derive from the repetition seed, so they are independent
   // across repetitions and bit-reproducible at any thread count. Benches

@@ -1,14 +1,16 @@
 #include "incentive/budget.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
 namespace mcs::incentive {
 
 namespace {
-constexpr Money kTolerance = 1e-9;
-}
+constexpr Money kAbsTolerance = 1e-9;
+constexpr Money kRelTolerance = 1e-12;
+}  // namespace
 
 BudgetTracker::BudgetTracker(Money total, bool strict)
     : total_(total), strict_(strict) {
@@ -16,11 +18,11 @@ BudgetTracker::BudgetTracker(Money total, bool strict)
 }
 
 Money BudgetTracker::overdraft() const {
-  return std::max(Money{0}, spent_ - total_);
+  return std::max(Money{0}, spent() - total_);
 }
 
 bool BudgetTracker::can_afford(Money amount) const {
-  return amount <= remaining() + kTolerance;
+  return amount <= remaining() + (kAbsTolerance + kRelTolerance * total_);
 }
 
 void BudgetTracker::pay(Money amount) {
@@ -28,7 +30,16 @@ void BudgetTracker::pay(Money amount) {
   if (strict_) {
     MCS_CHECK(can_afford(amount), "payment exceeds platform budget");
   }
-  spent_ += amount;
+  // Neumaier update: the branch routes the rounding error of `t = spent_ +
+  // amount` into comp_ whichever operand dominates, so payments below half
+  // an ulp of the running sum still accumulate instead of vanishing.
+  const Money t = spent_ + amount;
+  if (std::abs(spent_) >= std::abs(amount)) {
+    comp_ += (spent_ - t) + amount;
+  } else {
+    comp_ += (amount - t) + spent_;
+  }
+  spent_ = t;
 }
 
 }  // namespace mcs::incentive

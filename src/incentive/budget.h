@@ -17,20 +17,36 @@ class BudgetTracker {
   explicit BudgetTracker(Money total, bool strict = true);
 
   Money total() const { return total_; }
-  Money spent() const { return spent_; }
-  Money remaining() const { return total_ - spent_; }
+  /// Compensated running sum of all payments (Neumaier): tiny payments are
+  /// never absorbed by a large accumulated total, so a campaign of millions
+  /// of micro-payments cannot silently drift past the budget the way a
+  /// naive `spent_ += amount` does once `amount` drops below half an ulp
+  /// of `spent_`.
+  Money spent() const { return spent_ + comp_; }
+  Money remaining() const { return total_ - spent(); }
   Money overdraft() const;
 
+  /// True when charging `amount` stays within the budget up to a single
+  /// absolute + relative tolerance: amount <= remaining() + 1e-9 +
+  /// 1e-12 * total(). The relative term scales the slack with the budget's
+  /// own ulp (a fixed 1e-9 is meaningless against a 1e9 budget, where one
+  /// ulp is ~1.2e-7); the absolute term keeps tiny budgets permissive at
+  /// the same magnitude as before. Together they bound the worst-case
+  /// strict-mode overdraft by 1e-9 + 1e-12 * total() per campaign — the
+  /// tolerance is only consumed once, by the final admitted payment.
   bool can_afford(Money amount) const;
 
   /// Record a payment; in strict mode throws mcs::Error when it would exceed
-  /// the budget (beyond a tiny floating-point tolerance).
+  /// the budget (beyond the can_afford() tolerance).
   void pay(Money amount);
 
  private:
   Money total_;
   bool strict_;
+  // Neumaier compensated accumulator: spent_ holds the running sum, comp_
+  // the error term; the true total is their sum (see spent()).
   Money spent_ = 0.0;
+  Money comp_ = 0.0;
 };
 
 }  // namespace mcs::incentive

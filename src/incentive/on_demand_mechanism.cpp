@@ -1,7 +1,5 @@
 #include "incentive/on_demand_mechanism.h"
 
-#include <algorithm>
-
 #include "common/error.h"
 
 namespace mcs::incentive {
@@ -11,7 +9,11 @@ OnDemandMechanism::OnDemandMechanism(DemandIndicator indicator,
     : indicator_(std::move(indicator)), scale_(scale), rule_(rule) {}
 
 void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
-  const std::vector<int>& counts = world.neighbor_counts();
+  // Consume the world's change journal: this full recompute (re)baselines
+  // every price against the current counts, so changes accumulated before
+  // this publish must not leak into the next reprice's delta.
+  const model::World::NeighborDelta delta = world.take_neighbor_changes();
+  const std::vector<int>& counts = *delta.counts;
   indicator_.normalized_demands_into(world, k, counts, last_demands_);
   scale_.levels_into(last_demands_, last_levels_);
   rewards_.assign(world.num_tasks(), 0.0);
@@ -20,9 +22,8 @@ void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
     if (t.completed() || t.expired_at(k)) continue;  // withdrawn
     rewards_[i] = rule_.reward(last_levels_[i]);
   }
-  last_counts_.assign(counts.begin(), counts.end());
-  last_max_neighbors_ =
-      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  // The histogram-backed running max is the same integer max_element finds.
+  last_max_neighbors_ = delta.max_count;
   last_round_ = k;
   published_ = true;
 }
@@ -41,34 +42,49 @@ void OnDemandMechanism::reprice_position(const model::World& world, Round k,
   rewards_[pos] = (t.completed() || t.expired_at(k))
                       ? 0.0
                       : rule_.reward(last_levels_[pos]);
-  last_counts_[pos] = neighbors;
 }
 
 void OnDemandMechanism::reprice(const model::World& world, Round k,
                                 const std::vector<std::size_t>& dirty_tasks) {
   const std::size_t n = world.num_tasks();
-  if (!published_ || last_round_ != k || rewards_.size() != n ||
-      last_counts_.size() != n) {
+  if (!published_ || last_round_ != k || rewards_.size() != n) {
     update_rewards(world, k);
+    last_reprice_touched_ = n;
     return;
   }
-  const std::vector<int>& counts = world.neighbor_counts();
+  // The delta since the last publish/reprice, straight from the neighbor
+  // cache's journal: no O(n) count-diff scan, no O(n) max_element. Taking
+  // before the fallback checks is safe — both fallbacks recompute in full
+  // against the current counts (and consume an empty journal themselves).
+  const model::World::NeighborDelta delta = world.take_neighbor_changes();
+  if (delta.rebuilt) {
+    // The cache was rebuilt (task or user set changed): there is no
+    // per-position delta to replay.
+    update_rewards(world, k);
+    last_reprice_touched_ = n;
+    return;
+  }
+  const std::vector<int>& counts = *delta.counts;
   MCS_CHECK(counts.size() == n, "one neighbor count per task");
-  const int max_neighbors =
-      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  const int max_neighbors = delta.max_count;
   if (max_neighbors != last_max_neighbors_) {
     // Nmax enters every task's X3 denominator: everything is dirty.
     update_rewards(world, k);
+    last_reprice_touched_ = n;
     return;
   }
+  last_reprice_touched_ = 0;
   for (const std::size_t pos : dirty_tasks) {
     MCS_CHECK(pos < n, "dirty task position out of range");
     reprice_position(world, k, pos, counts[pos], max_neighbors);
+    ++last_reprice_touched_;
   }
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    if (counts[pos] != last_counts_[pos]) {
-      reprice_position(world, k, pos, counts[pos], max_neighbors);
-    }
+  // Positions whose count was touched by user movement. The journal may
+  // include net-zero round trips; repricing from the *current* count is a
+  // pure function, so those recompute to bit-identical values.
+  for (const std::size_t pos : *delta.changed) {
+    reprice_position(world, k, pos, counts[pos], max_neighbors);
+    ++last_reprice_touched_;
   }
 }
 

@@ -29,15 +29,21 @@ class OnDemandMechanism final : public IncentiveMechanism {
   /// Incremental repricing. A task's price can change between two sessions
   /// of one round only if (a) it gained a measurement (it is in
   /// `dirty_tasks`), or (b) its neighbor count moved because a user walked
-  /// (detected by diffing the cached per-task counts), or (c) the global
-  /// max neighbor count Nmax changed, which perturbs X3 for *every* task —
-  /// that case falls back to the full recompute. X1 depends only on (k,
-  /// deadline) and is frozen within the round. Bit-identical to
-  /// update_rewards by the reprice() contract; per-session cost is
-  /// O(dirty + changed counts) transcendental work plus one O(T) integer
-  /// scan.
+  /// (delivered by World's neighbor-cache change journal), or (c) the
+  /// global max neighbor count Nmax changed, which perturbs X3 for *every*
+  /// task — that case falls back to the full recompute, as does a cache
+  /// rebuild (no per-position delta exists to replay). X1 depends only on
+  /// (k, deadline) and is frozen within the round. Bit-identical to
+  /// update_rewards by the reprice() contract; the fast path is truly
+  /// O(dirty + journaled count changes) — Nmax comes from the cache's
+  /// count histogram, so there is no O(T) scan of any kind.
   void reprice(const model::World& world, Round k,
                const std::vector<std::size_t>& dirty_tasks) override;
+
+  /// Number of task positions the most recent reprice() actually repriced
+  /// (num_tasks when it fell back to a full update). Pins the O(dirty)
+  /// contract in tests and the bench fast-path gate.
+  std::size_t last_reprice_touched() const { return last_reprice_touched_; }
 
   /// Introspection of the most recent update (for tests, traces and the
   /// Table III bench): normalized demands and levels per task.
@@ -59,12 +65,13 @@ class OnDemandMechanism final : public IncentiveMechanism {
   RewardRule rule_;
   std::vector<double> last_demands_;
   std::vector<int> last_levels_;
-  // Reprice bookkeeping: the neighbor counts and Nmax the current rewards_
-  // were priced against, and the round they were published for.
-  std::vector<int> last_counts_;
+  // Reprice bookkeeping: the Nmax the current rewards_ were priced against
+  // and the round they were published for. Per-position changes arrive via
+  // World::take_neighbor_changes(), so no count snapshot is kept here.
   int last_max_neighbors_ = 0;
   Round last_round_ = 0;
   bool published_ = false;
+  std::size_t last_reprice_touched_ = 0;
 };
 
 }  // namespace mcs::incentive

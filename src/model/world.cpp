@@ -1,5 +1,7 @@
 #include "model/world.h"
 
+#include <utility>
+
 #include "common/error.h"
 
 namespace mcs::model {
@@ -86,6 +88,9 @@ void World::rebuild_neighbor_cache() const {
   }
   ncache_.task_pos.resize(tasks_.size());
   ncache_.counts.resize(tasks_.size());
+  // Histogram for the running max: counts are bounded by the population.
+  ncache_.count_freq.assign(users_.size() + 1, 0);
+  ncache_.max_count = 0;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     ncache_.task_pos[i] = tasks_[i].location();
     ncache_.task_grid->insert(static_cast<std::int32_t>(i),
@@ -93,8 +98,44 @@ void World::rebuild_neighbor_cache() const {
     ncache_.counts[i] = static_cast<int>(
         ncache_.user_grid->count_radius(ncache_.task_pos[i],
                                         neighbor_radius_));
+    ++ncache_.count_freq[static_cast<std::size_t>(ncache_.counts[i])];
+    if (ncache_.counts[i] > ncache_.max_count) {
+      ncache_.max_count = ncache_.counts[i];
+    }
   }
+  // Reset the change journal: per-position deltas are meaningless across a
+  // rebuild, so consumers see rebuilt=true until the next take.
+  ncache_.changed.clear();
+  ncache_.changed_mark.assign(tasks_.size(), 0);
+  ncache_.changed_gen = 1;
+  ncache_.rebuilt_pending = true;
   ncache_.valid = true;
+}
+
+void World::bump_neighbor_count(std::size_t pos, int delta) const {
+  int& c = ncache_.counts[pos];
+  --ncache_.count_freq[static_cast<std::size_t>(c)];
+  c += delta;
+  if (static_cast<std::size_t>(c) >= ncache_.count_freq.size()) {
+    ncache_.count_freq.resize(static_cast<std::size_t>(c) + 1, 0);
+  }
+  ++ncache_.count_freq[static_cast<std::size_t>(c)];
+  if (c > ncache_.max_count) {
+    ncache_.max_count = c;
+  } else {
+    // The old value may have been the last occupant of the top bucket; walk
+    // down to the next non-empty one. Amortized O(1): the walk only ever
+    // descends past levels some earlier increment climbed.
+    while (ncache_.max_count > 0 &&
+           ncache_.count_freq[static_cast<std::size_t>(ncache_.max_count)] ==
+               0) {
+      --ncache_.max_count;
+    }
+  }
+  if (ncache_.changed_mark[pos] != ncache_.changed_gen) {
+    ncache_.changed_mark[pos] = ncache_.changed_gen;
+    ncache_.changed.push_back(pos);
+  }
 }
 
 void World::sync_neighbor_cache() const {
@@ -109,11 +150,13 @@ void World::sync_neighbor_cache() const {
                               ncache_.user_pos[i]);
     ncache_.user_grid->insert(static_cast<std::int32_t>(i), now);
     ncache_.task_grid->for_each_in_radius(
-        ncache_.user_pos[i], neighbor_radius_,
-        [this](std::int32_t t) { --ncache_.counts[t]; });
+        ncache_.user_pos[i], neighbor_radius_, [this](std::int32_t t) {
+          bump_neighbor_count(static_cast<std::size_t>(t), -1);
+        });
     ncache_.task_grid->for_each_in_radius(
-        now, neighbor_radius_,
-        [this](std::int32_t t) { ++ncache_.counts[t]; });
+        now, neighbor_radius_, [this](std::int32_t t) {
+          bump_neighbor_count(static_cast<std::size_t>(t), +1);
+        });
     ncache_.user_pos[i] = now;
   }
 }
@@ -125,6 +168,30 @@ const std::vector<int>& World::neighbor_counts() const {
     rebuild_neighbor_cache();
   }
   return ncache_.counts;
+}
+
+int World::neighbor_max_count() const {
+  neighbor_counts();  // sync or rebuild
+  return ncache_.max_count;
+}
+
+World::NeighborDelta World::take_neighbor_changes() const {
+  neighbor_counts();  // sync or rebuild
+  NeighborDelta d;
+  d.rebuilt = ncache_.rebuilt_pending;
+  std::swap(ncache_.changed, ncache_.taken);
+  ncache_.changed.clear();
+  // A fresh generation invalidates every mark; on wrap-around (once per
+  // 2^32 takes) the marks are reset so stale stamps can never alias.
+  if (++ncache_.changed_gen == 0) {
+    ncache_.changed_mark.assign(ncache_.changed_mark.size(), 0);
+    ncache_.changed_gen = 1;
+  }
+  ncache_.rebuilt_pending = false;
+  d.changed = &ncache_.taken;
+  d.counts = &ncache_.counts;
+  d.max_count = ncache_.max_count;
+  return d;
 }
 
 long long World::total_required() const {

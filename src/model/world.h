@@ -3,6 +3,7 @@
 // simulator; incentive mechanisms and selectors observe it read-only.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,39 @@ class World {
   /// runner's one-simulator-per-repetition shape guarantees.
   const std::vector<int>& neighbor_counts() const;
 
+  /// The maximum of neighbor_counts() (Nmax, the X3 denominator of Eq. 6),
+  /// maintained incrementally by a count histogram: O(1) amortized per
+  /// count change instead of an O(T) max_element per query. Syncs the cache
+  /// exactly like neighbor_counts() and always equals
+  /// *max_element(neighbor_counts()) (0 when there are no tasks).
+  int neighbor_max_count() const;
+
+  /// Everything that happened to the neighbor counts since the journal was
+  /// last taken. `rebuilt` true means the cache was rebuilt from scratch
+  /// (task/user set changed, or first use) and `changed` lists nothing
+  /// useful — the consumer must assume every count moved. Otherwise
+  /// `changed` holds the task positions whose count was touched since the
+  /// last take, deduplicated, in first-touch order (it may include
+  /// positions whose count changed and changed back; consumers recompute
+  /// from the current count, so that is merely redundant work, never
+  /// wrong). The pointer stays valid until the next take.
+  struct NeighborDelta {
+    bool rebuilt = true;
+    const std::vector<std::size_t>* changed = nullptr;
+    /// The synced counts and running max at take time — identical to what
+    /// neighbor_counts()/neighbor_max_count() would return, carried here so
+    /// the consumer does not pay the location-diff sync three times over.
+    const std::vector<int>* counts = nullptr;
+    int max_count = 0;
+  };
+
+  /// Sync the cache and take the journal (clearing it). SINGLE-CONSUMER:
+  /// taking is destructive, so exactly one reader may pair cached derived
+  /// state with the journal — in this codebase the simulator's one
+  /// mechanism per world (OnDemandMechanism's reprice fast path).
+  /// neighbor_counts()/neighbor_max_count() never disturb the journal.
+  NeighborDelta take_neighbor_changes() const;
+
   /// Total number of measurements required across tasks (sum of phi_i);
   /// the denominator of Eq. 9.
   long long total_required() const;
@@ -79,6 +113,10 @@ class World {
   std::vector<Task> tasks_;
   std::vector<User> users_;
 
+  /// Apply a +-1 count change to task `pos`, keeping the histogram-backed
+  /// running max and the change journal in step.
+  void bump_neighbor_count(std::size_t pos, int delta) const;
+
   // Lazily maintained neighbor-count cache (see neighbor_counts()).
   struct NeighborCache {
     bool valid = false;
@@ -87,6 +125,20 @@ class World {
     std::vector<geo::Point> user_pos;           // last-synced user locations
     std::vector<geo::Point> task_pos;           // task set at build time
     std::vector<int> counts;                    // one per task position
+    // Running max: count_freq[c] = number of tasks with count c; max_count
+    // tracks the largest non-empty bucket (0 when there are no tasks).
+    int max_count = 0;
+    std::vector<int> count_freq;
+    // Change journal (see take_neighbor_changes): `changed` accumulates
+    // first-touch task positions, deduplicated by a generation-stamped mark
+    // per task; `taken` is the buffer handed to the consumer (swap keeps
+    // the steady state allocation-free). `rebuilt_pending` stays set from a
+    // rebuild until the next take.
+    std::vector<std::size_t> changed;
+    std::vector<std::size_t> taken;
+    std::vector<std::uint32_t> changed_mark;
+    std::uint32_t changed_gen = 1;
+    bool rebuilt_pending = true;
   };
   mutable NeighborCache ncache_;
 };

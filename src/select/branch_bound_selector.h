@@ -8,6 +8,8 @@
 // instances, and without the DP's exponential memory.
 #pragma once
 
+#include <limits>
+
 #include "select/selector.h"
 
 namespace mcs::select {
@@ -20,6 +22,11 @@ class BranchBoundSelector final : public TaskSelector {
 
   std::unique_ptr<TaskSelector> clone() const override {
     return std::make_unique<BranchBoundSelector>();
+  }
+
+  /// Exact at any instance size (no candidate pruning).
+  int exact_candidate_limit() const override {
+    return std::numeric_limits<int>::max();
   }
 };
 

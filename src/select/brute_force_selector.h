@@ -20,6 +20,8 @@ class BruteForceSelector final : public TaskSelector {
     return std::make_unique<BruteForceSelector>(max_candidates_);
   }
 
+  int exact_candidate_limit() const override { return max_candidates_; }
+
  private:
   int max_candidates_;
 };

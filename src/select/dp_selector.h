@@ -60,6 +60,9 @@ class DpSelector final : public TaskSelector {
 
   int candidate_cap() const { return candidate_cap_; }
 
+  /// Exact up to the cap: larger instances are reward-pruned first.
+  int exact_candidate_limit() const override { return candidate_cap_; }
+
  private:
   int candidate_cap_;
 

@@ -1,0 +1,172 @@
+// PlanMemo: cross-user memoization of per-round task-selection plans.
+//
+// At production density many users of one sensing round face *identical*
+// selection instances: the open set and prices are frozen for the round
+// (round-granularity mechanisms), the candidate geometry is the shared
+// CandidatePool, and users clustered at the same point of interest share
+// the same start location and often the same time budget and contributed
+// set. Their DP solves are then byte-for-byte the same work, O(m^2 * 2^m)
+// each. The memo keys every planned invocation by
+//
+//   (quantized start cell, time-budget bucket,
+//    signature of the included pool-row subset)
+//
+// and lets only the first user of an equivalence class — the class *owner*
+// — pay the solve; everyone else pays a hash lookup plus an O(m) fix-up
+// check. The result is pinned bit-identical to the memo-free path: a plan
+// is ever reused only under one of two *proofs*:
+//
+//  * Exact hit: the probing instance equals the cached one — bit-equal
+//    start, bit-equal time budget and the identical included pool-row
+//    subset. Selectors are documented deterministic pure functions of the
+//    instance (selector.h), so the cached Selection IS what the probing
+//    user's own solve would return. Safe for any selector.
+//  * Dominance fix-up (start-leg fix-up for the empty tour): the cached
+//    instance was solved *exactly* (TaskSelector::exact_candidate_limit()
+//    covers the candidate count) and returned the empty selection; the
+//    probing user has the same included subset, a time budget no larger
+//    than the cached one, and a start-leg distance to every candidate no
+//    shorter than the cached user's. Travel time and cost are linear in
+//    distance (geo::TravelModel), so every tour feasible for the prober is
+//    feasible for the cached user at no higher cost: all its tours have
+//    profit <= the cached optimum <= 0, and an exact solver (strict
+//    improvement over the empty incumbent, as the DP implements) returns
+//    exactly the empty selection again.
+//
+// Everything else — different reachable set under the travel budget,
+// tie-breaking ambiguity between distinct non-empty tours, contributed-task
+// overlap that changes the included subset — fails verification and takes
+// the exact fallback: the user's full solve runs as if the memo did not
+// exist (counted in stats().fallbacks).
+//
+// Concurrency/determinism: the table is built per round in three phases
+// driven by the simulator. (1) a serial classification pass in user-
+// position order assigns every user a Ticket (owner / exact hit / pending
+// dominance probe); (2) owners' solves run concurrently on the plan
+// workers — the memo is not touched at all; (3) a serial pass in the same
+// position order publishes owner plans into the table, copies them to
+// exact hits and resolves pendings (failed probes become a second solve
+// wave). Insertion order, hit/miss accounting and every returned plan are
+// therefore identical at any plan_threads value.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "select/instance.h"
+
+namespace mcs::select {
+
+class CandidatePool;
+
+struct PlanMemoParams {
+  bool enabled = false;
+  // Start-point quantization for the memo key. Coarser cells put more
+  // near-identical users in one bucket (longer probe chains), finer cells
+  // split them; correctness never depends on the value because every probe
+  // re-verifies exact content.
+  Meters cell_size = 250.0;
+  // Time-budget quantization for the memo key (same bucketing-only role).
+  Seconds budget_bucket = 60.0;
+  // Cap on cached entries per key: once a bucket is full, further owners
+  // still solve (and are counted as misses) but are not inserted.
+  int max_entries_per_key = 8;
+
+  void validate() const;
+};
+
+struct PlanMemoStats {
+  long long exact_hits = 0;  // plan copied from a bit-equal instance
+  long long fixup_hits = 0;  // dominance fix-up proved the empty plan
+  long long misses = 0;      // full solves (class owners + fallbacks)
+  long long fallbacks = 0;   // pendings whose fix-up failed (subset of misses)
+  long long rounds = 0;      // rounds the memo was active for
+
+  long long hits() const { return exact_hits + fixup_hits; }
+  long long lookups() const { return hits() + misses; }
+  double hit_rate() const {
+    return lookups() > 0 ? static_cast<double>(hits()) /
+                               static_cast<double>(lookups())
+                         : 0.0;
+  }
+};
+
+class PlanMemo {
+ public:
+  enum class Outcome : std::uint8_t {
+    kOwner,     // first of its class: solve, then publish()
+    kExactHit,  // bit-equal instance cached: copy via cached_plan()
+    kPending,   // dominance candidate: resolve() after the owner published
+  };
+
+  struct Ticket {
+    Outcome outcome = Outcome::kOwner;
+    // Entry index for kExactHit/kPending, and for kOwner when the entry was
+    // inserted (kNoEntry when its key bucket was full).
+    std::uint32_t entry = kNoEntry;
+  };
+
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+  explicit PlanMemo(PlanMemoParams params);
+
+  const PlanMemoParams& params() const { return params_; }
+
+  /// Start a new round: drop every entry (capacity is kept), remember the
+  /// round's shared pool. Cumulative stats survive across rounds.
+  void begin_round(const CandidatePool& pool);
+
+  /// Phase 1, serial, in user-position order. The instance must carry the
+  /// round pool (has_pool()). `exact_candidate_limit` is the solving
+  /// selector's TaskSelector::exact_candidate_limit(). Updates stats for
+  /// exact hits and owners; pendings are counted at resolve().
+  Ticket classify(const SelectionInstance& inst, int exact_candidate_limit);
+
+  /// Phase 3, serial, same order: publish an owner's freshly solved plan
+  /// (and its is_feasible result) into its entry. No-op for kNoEntry.
+  void publish(const Ticket& t, const Selection& plan, bool feasible);
+
+  /// The plan cached for an exact-hit ticket (valid after the owner
+  /// published, which position order guarantees).
+  const Selection& cached_plan(const Ticket& t) const;
+  bool cached_feasible(const Ticket& t) const;
+
+  /// Resolve a pending ticket against its (now published) entry. True: the
+  /// dominance fix-up holds, *plan is the proven (empty) selection, counted
+  /// as a fix-up hit. False: the caller must run the full solve; counted as
+  /// a fallback and a miss.
+  bool resolve(const Ticket& t, const Selection** plan);
+
+  const PlanMemoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Entry {
+    geo::Point start;
+    Seconds time_budget = 0.0;
+    std::vector<std::uint64_t> inclusion;  // bitmask over pool rows
+    std::vector<Meters> d0;        // start-leg distance per included candidate
+    std::vector<Money> rewards;    // per included candidate, insert-time
+    geo::TravelModel travel;
+    int exact_limit = 0;           // solver's exact cap at insert time
+    bool solved = false;
+    bool feasible = true;
+    Selection plan;
+  };
+
+  std::uint64_t key_of(const SelectionInstance& inst,
+                       std::uint64_t sig_hash) const;
+
+  PlanMemoParams params_;
+  const CandidatePool* pool_ = nullptr;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+  PlanMemoStats stats_;
+  // Scratch reused across classify() calls.
+  std::vector<std::uint64_t> scratch_inclusion_;
+  std::vector<Meters> scratch_d0_;
+};
+
+}  // namespace mcs::select

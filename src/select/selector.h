@@ -19,6 +19,15 @@ class TaskSelector {
   /// are rational).
   virtual Selection select(const SelectionInstance& instance) const = 0;
 
+  /// Largest candidate count this selector solves *exactly* — the true
+  /// optimum of Eq. 1 over the given candidates, with no heuristic pruning
+  /// below that size. 0 for heuristics (greedy, beam, ILS, ...). The plan
+  /// memo's dominance fix-up (select/plan_memo.h) is only sound for exact
+  /// solves, so it consults this hook; the conservative default opts a
+  /// selector out of everything except bit-equal instance reuse, which is
+  /// safe for any deterministic selector.
+  virtual int exact_candidate_limit() const { return 0; }
+
   /// A fresh selector of the same kind and configuration. Scratch arenas
   /// make select() non-reentrant (DESIGN.md §7), so the simulator's
   /// parallel planning pass gives each worker its own clone. Selectors are

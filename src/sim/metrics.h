@@ -74,6 +74,13 @@ struct CampaignMetrics {
   long long corrupted_measurements = 0;
   int withdrawn_task_rounds = 0;
   Meters wasted_travel = 0.0;
+  // Plan-memo accounting (select/plan_memo.h; all zero unless
+  // SimulatorParams::memo.enabled). Misses include the fallbacks; the hit
+  // rate is (exact + fixup) / (exact + fixup + misses).
+  long long plan_exact_hits = 0;
+  long long plan_fixup_hits = 0;
+  long long plan_misses = 0;
+  long long plan_fallbacks = 0;
 };
 
 double coverage_pct(const model::World& world);

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -18,6 +19,9 @@ void ScenarioParams::validate() const {
   MCS_CHECK(cost_per_meter >= 0.0, "cost per meter must be non-negative");
   MCS_CHECK(user_budget_min_s >= 0.0 && user_budget_max_s >= user_budget_min_s,
             "bad user budget range");
+  MCS_CHECK(user_budget_quantum_s >= 0.0,
+            "budget quantum must be non-negative");
+  MCS_CHECK(home_sites >= 0, "home sites must be non-negative");
   MCS_CHECK(neighbor_radius >= 0.0, "neighbor radius must be non-negative");
 }
 
@@ -32,10 +36,31 @@ model::World make_empty_world(const ScenarioParams& p) {
 }
 
 void add_users(model::World& world, const ScenarioParams& p, Rng& rng) {
+  // home_sites > 0: users pick their home from a shared site set, so many
+  // of them start every round at bit-equal coordinates (see scenario.h).
+  // The sites are drawn up front; with home_sites == 0 no extra draw
+  // happens and the historical rng stream is untouched.
+  std::vector<geo::Point> sites;
+  sites.reserve(static_cast<std::size_t>(std::max(0, p.home_sites)));
+  for (int s = 0; s < p.home_sites; ++s) {
+    sites.push_back(
+        {rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)});
+  }
   for (int i = 0; i < p.num_users; ++i) {
-    const geo::Point home{rng.uniform(0.0, p.area_side),
-                          rng.uniform(0.0, p.area_side)};
-    const Seconds budget = rng.uniform(p.user_budget_min_s, p.user_budget_max_s);
+    geo::Point home;
+    if (sites.empty()) {
+      home = {rng.uniform(0.0, p.area_side), rng.uniform(0.0, p.area_side)};
+    } else {
+      home = sites[static_cast<std::size_t>(
+          rng.uniform_int(0, p.home_sites - 1))];
+    }
+    Seconds budget = rng.uniform(p.user_budget_min_s, p.user_budget_max_s);
+    if (p.user_budget_quantum_s > 0.0) {
+      budget = p.user_budget_min_s +
+               std::floor((budget - p.user_budget_min_s) /
+                          p.user_budget_quantum_s) *
+                   p.user_budget_quantum_s;
+    }
     world.add_user(home, budget);
   }
 }

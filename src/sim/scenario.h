@@ -32,6 +32,18 @@ struct ScenarioParams {
   // The paper never states this distribution; see DESIGN.md §4.
   Seconds user_budget_min_s = 300.0;
   Seconds user_budget_max_s = 600.0;
+  // Budget quantization: > 0 rounds every drawn budget down to
+  // budget_min_s + n * quantum (still within the range). Bucketized budgets
+  // model plan-granular devices and are what lets the plan memo share
+  // solves across users; 0 (default) keeps the continuous draw — and the
+  // historical rng stream — bit-identical.
+  Seconds user_budget_quantum_s = 0.0;
+
+  // Dense-home variant: > 0 draws this many shared "points of interest"
+  // and homes every user at one of them (residential towers, transit hubs
+  // — the regime where thousands of users start a round at the same
+  // coordinates). 0 (default) keeps the continuous uniform home draw.
+  int home_sites = 0;
 
   // Neighbor radius R for the demand indicator's X3 (paper gives no value).
   Meters neighbor_radius = 500.0;

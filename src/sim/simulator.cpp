@@ -25,7 +25,8 @@ Simulator::Simulator(model::World world,
       mobility_rng_(params.order_seed ^ 0xb0b1b2b3b4b5b6b7ULL),
       faults_(params.faults, params.order_seed),
       budget_(params.platform_budget, /*strict=*/false),
-      events_(params.record_events) {
+      events_(params.record_events),
+      plan_memo_(params.memo) {
   MCS_CHECK(mechanism_ != nullptr, "simulator needs a mechanism");
   MCS_CHECK(selector_ != nullptr, "simulator needs a selector");
   MCS_CHECK(params.max_rounds >= 1, "max_rounds must be at least 1");
@@ -260,6 +261,44 @@ bool Simulator::ensure_plan_workers(int threads) {
   return true;
 }
 
+void Simulator::solve_positions(
+    const std::vector<std::uint32_t>& positions, const std::vector<bool>& open,
+    const std::shared_ptr<const select::CandidatePool>& pool,
+    std::vector<select::Selection>& plans, std::vector<char>& feasible) {
+  // Prices, the open set and the pool are frozen for the whole round, and a
+  // user's instance depends only on that frozen state plus the user's own
+  // location and contributed set — nothing another user's session changes.
+  // Plans are therefore order-free: compute them concurrently into per-user
+  // slots. Feasibility is checked here (while the instance is still alive)
+  // and only asserted at commit.
+  const auto plan_user = [&](const select::TaskSelector& solver,
+                             std::size_t pos) {
+    const model::User& u = world_.users()[pos];
+    const select::SelectionInstance inst = make_instance(
+        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
+    plans[pos] = solver.select(inst);
+    feasible[pos] = select::is_feasible(inst, plans[pos]) ? 1 : 0;
+  };
+
+  const int threads = resolve_threads(params_.plan_threads);
+  if (threads <= 1 || positions.size() <= 1 || !ensure_plan_workers(threads)) {
+    for (const std::uint32_t pos : positions) plan_user(*selector_, pos);
+  } else {
+    // One selector clone per shard: DP/greedy scratch arenas are not
+    // reentrant (DESIGN.md §7), so concurrent plans never share a solver.
+    const std::size_t shards = plan_selectors_.size();
+    for (std::size_t s = 0; s < shards; ++s) {
+      plan_pool_->submit([&, s] {
+        const select::TaskSelector& solver = *plan_selectors_[s];
+        for (std::size_t i = s; i < positions.size(); i += shards) {
+          plan_user(solver, positions[i]);
+        }
+      });
+    }
+    plan_pool_->wait_idle();
+  }
+}
+
 void Simulator::run_sessions_planned(
     Round k, const std::vector<bool>& open,
     const std::shared_ptr<const select::CandidatePool>& pool,
@@ -278,41 +317,73 @@ void Simulator::run_sessions_planned(
     if (faults_.enabled() && faults_.drop_user(u.id(), k)) dropped[pos] = 1;
   }
 
-  // Plan phase. Prices, the open set and the pool are frozen for the whole
-  // round, and a user's instance depends only on that frozen state plus the
-  // user's own location and contributed set — nothing another user's
-  // session changes. Plans are therefore order-free: compute them
-  // concurrently into per-user slots. Feasibility is checked here (while
-  // the instance is still alive) and only asserted at commit.
   std::vector<select::Selection> plans(n_users);
   std::vector<char> feasible(n_users, 1);
-  const auto plan_user = [&](const select::TaskSelector& solver,
-                             std::size_t pos) {
-    const model::User& u = world_.users()[pos];
-    const select::SelectionInstance inst = make_instance(
-        world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
-    plans[pos] = solver.select(inst);
-    feasible[pos] = select::is_feasible(inst, plans[pos]) ? 1 : 0;
-  };
 
-  const int threads = resolve_threads(params_.plan_threads);
-  if (threads <= 1 || n_users <= 1 || !ensure_plan_workers(threads)) {
+  if (!params_.memo.enabled) {
+    std::vector<std::uint32_t> to_plan;
+    to_plan.reserve(n_users);
     for (std::size_t pos = 0; pos < n_users; ++pos) {
-      if (!dropped[pos]) plan_user(*selector_, pos);
+      if (!dropped[pos]) to_plan.push_back(static_cast<std::uint32_t>(pos));
     }
+    solve_positions(to_plan, open, pool, plans, feasible);
   } else {
-    // One selector clone per shard: DP/greedy scratch arenas are not
-    // reentrant (DESIGN.md §7), so concurrent plans never share a solver.
-    const std::size_t shards = plan_selectors_.size();
-    for (std::size_t s = 0; s < shards; ++s) {
-      plan_pool_->submit([&, s] {
-        const select::TaskSelector& solver = *plan_selectors_[s];
-        for (std::size_t pos = s; pos < n_users; pos += shards) {
-          if (!dropped[pos]) plan_user(solver, pos);
-        }
-      });
+    // Memoized plan phase (select/plan_memo.h), three deterministic phases.
+    //
+    // Phase 1 — serial classification in position order: every surviving
+    // user's instance is keyed against the memo. Owners (first of their
+    // equivalence class) go to the solve wave; exact hits will copy the
+    // owner's plan; dominance candidates stay pending until the owner's
+    // result is known. Position order (not visit order) so that hit/miss
+    // accounting and entry layout are independent of the round shuffle's
+    // interaction with fault draws — and identical at any thread count.
+    plan_memo_.begin_round(*pool);
+    const int exact_limit = selector_->exact_candidate_limit();
+    std::vector<select::PlanMemo::Ticket> tickets(n_users);
+    std::vector<std::uint32_t> owners;
+    for (std::size_t pos = 0; pos < n_users; ++pos) {
+      if (dropped[pos]) continue;
+      const model::User& u = world_.users()[pos];
+      const select::SelectionInstance inst = make_instance(
+          world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
+      tickets[pos] = plan_memo_.classify(inst, exact_limit);
+      if (tickets[pos].outcome == select::PlanMemo::Outcome::kOwner) {
+        owners.push_back(static_cast<std::uint32_t>(pos));
+      }
     }
-    plan_pool_->wait_idle();
+
+    // Phase 2 — owners solve concurrently; the memo is untouched.
+    solve_positions(owners, open, pool, plans, feasible);
+
+    // Phase 3 — serial, position order again: owners publish, exact hits
+    // copy (the owner's position is smaller, so its plan is published by
+    // the time a hit reads it), pendings resolve into a fix-up hit or the
+    // exact-fallback wave, which then solves concurrently like the owners.
+    std::vector<std::uint32_t> fallback;
+    for (std::size_t pos = 0; pos < n_users; ++pos) {
+      if (dropped[pos]) continue;
+      const select::PlanMemo::Ticket& t = tickets[pos];
+      switch (t.outcome) {
+        case select::PlanMemo::Outcome::kOwner:
+          plan_memo_.publish(t, plans[pos], feasible[pos] != 0);
+          break;
+        case select::PlanMemo::Outcome::kExactHit:
+          plans[pos] = plan_memo_.cached_plan(t);
+          feasible[pos] = plan_memo_.cached_feasible(t) ? 1 : 0;
+          break;
+        case select::PlanMemo::Outcome::kPending: {
+          const select::Selection* cached = nullptr;
+          if (plan_memo_.resolve(t, &cached)) {
+            plans[pos] = *cached;  // the proven empty tour
+            feasible[pos] = 1;
+          } else {
+            fallback.push_back(static_cast<std::uint32_t>(pos));
+          }
+          break;
+        }
+      }
+    }
+    solve_positions(fallback, open, pool, plans, feasible);
   }
 
   // Commit phase: serial, in the round's shuffled visit order — payments,
@@ -430,6 +501,11 @@ CampaignMetrics Simulator::summary() const {
     m.withdrawn_task_rounds += rm.withdrawn_tasks;
     m.wasted_travel += rm.wasted_travel;
   }
+  const select::PlanMemoStats& memo = plan_memo_.stats();
+  m.plan_exact_hits = memo.exact_hits;
+  m.plan_fixup_hits = memo.fixup_hits;
+  m.plan_misses = memo.misses;
+  m.plan_fallbacks = memo.fallbacks;
   return m;
 }
 

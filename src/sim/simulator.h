@@ -19,6 +19,7 @@
 #include "incentive/budget.h"
 #include "incentive/mechanism.h"
 #include "model/world.h"
+#include "select/plan_memo.h"
 #include "select/selector.h"
 #include "sim/event_log.h"
 #include "sim/faults.h"
@@ -51,6 +52,15 @@ struct SimulatorParams {
   // serially regardless of this knob. Requires the selector to support
   // clone(); selectors without it fall back to serial planning.
   int plan_threads = 1;
+  // Cross-user plan memoization for the planning phase (select/plan_memo.h):
+  // users of one round whose selection instances are provably equivalent
+  // share one solve. Off by default; when memo.enabled the campaign stays
+  // bit-identical to the memo-free run (pinned by the plan-memo equivalence
+  // suite) at any plan_threads value — classification and publication are
+  // serial phases, only the solves fan out. Intra-round mechanisms reprice
+  // between sessions, so the memo does not apply to them (ignored, exactly
+  // like plan_threads).
+  select::PlanMemoParams memo;
 };
 
 class Simulator {
@@ -84,6 +94,10 @@ class Simulator {
   const std::vector<RoundMetrics>& history() const { return history_; }
   const incentive::BudgetTracker& budget() const { return budget_; }
   const EventLog& events() const { return events_; }
+  /// Cumulative plan-memo accounting (all zero unless params.memo.enabled).
+  const select::PlanMemoStats& plan_memo_stats() const {
+    return plan_memo_.stats();
+  }
 
   /// Summary of the current state (usable mid-campaign too).
   CampaignMetrics summary() const;
@@ -133,6 +147,15 @@ class Simulator {
   /// false when the selector is not clonable; callers then plan serially.
   bool ensure_plan_workers(int threads);
 
+  /// Solve the listed users' plans into `plans`/`feasible` (indexed by user
+  /// position), serially or sharded across the plan workers — the batch
+  /// primitive shared by the plain plan phase and the memo's solve waves.
+  void solve_positions(const std::vector<std::uint32_t>& positions,
+                       const std::vector<bool>& open,
+                       const std::shared_ptr<const select::CandidatePool>& pool,
+                       std::vector<select::Selection>& plans,
+                       std::vector<char>& feasible);
+
   model::World world_;
   std::unique_ptr<incentive::IncentiveMechanism> mechanism_;
   std::unique_ptr<select::TaskSelector> selector_;
@@ -148,6 +171,9 @@ class Simulator {
   // first parallel round and reused across rounds.
   std::unique_ptr<ThreadPool> plan_pool_;
   std::vector<std::unique_ptr<select::TaskSelector>> plan_selectors_;
+  // Cross-user plan memo (params_.memo); table rebuilt per round, stats
+  // cumulative over the campaign.
+  select::PlanMemo plan_memo_;
 };
 
 }  // namespace mcs::sim

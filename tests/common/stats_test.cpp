@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -91,6 +93,35 @@ TEST(Quantile, UnsortedInput) {
 TEST(Quantile, Errors) {
   EXPECT_THROW(quantile({}, 0.5), Error);
   EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+TEST(QuantileSorted, MatchesTheCopyingOverload) {
+  Rng rng(31);
+  std::vector<double> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.normal(10.0, 4.0));
+  std::vector<double> sorted(v);
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(v, q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSorted, Errors) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), Error);
+  EXPECT_THROW(quantile_sorted({1.0}, -0.1), Error);
+}
+
+// boxplot_summary now uses the sorted-input quantile path (one sort total
+// instead of one plus three copy+re-sorts); the reported numbers must be
+// exactly what the by-value quantile produces.
+TEST(Boxplot, SortedPathMatchesQuantileOverload) {
+  Rng rng(47);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.uniform(-50.0, 50.0));
+  const BoxplotSummary s = boxplot_summary(v);
+  EXPECT_DOUBLE_EQ(s.q1, quantile(v, 0.25));
+  EXPECT_DOUBLE_EQ(s.median, quantile(v, 0.5));
+  EXPECT_DOUBLE_EQ(s.q3, quantile(v, 0.75));
 }
 
 TEST(Boxplot, SymmetricData) {

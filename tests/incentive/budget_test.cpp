@@ -41,6 +41,63 @@ TEST(BudgetTracker, FloatingPointToleranceAtBoundary) {
   EXPECT_NO_THROW(b.pay(0.1));  // 3*0.1 == 0.30000000000000004
 }
 
+// Regression: a naive `spent_ += amount` freezes once `amount` drops below
+// half an ulp of the running sum — with a 1e9 budget nearly exhausted,
+// 5e-8 payments were absorbed without ever advancing spent(), so strict
+// mode admitted them forever. The compensated sum must keep counting and
+// throw once the (absolute + relative) tolerance is really used up, with
+// the overdraft bounded by that tolerance.
+TEST(BudgetTracker, ManySmallPaymentsCannotDriftPastTheBudget) {
+  const Money total = 1e9;
+  BudgetTracker b(total);
+  b.pay(total - 0.5);
+
+  const Money tiny = 5e-8;  // < ulp(1e9)/2 ≈ 6e-8: absorbed by a naive sum
+  const Money tolerance = 1e-9 + 1e-12 * total;
+  // Headroom (0.5) plus tolerance needs ~(0.5 + 1e-3) / 5e-8 ≈ 1.002e7
+  // payments; 3e7 is far past it, so a correct accumulator must throw.
+  const long long max_payments = 30'000'000;
+  bool threw = false;
+  long long paid = 0;
+  for (; paid < max_payments; ++paid) {
+    try {
+      b.pay(tiny);
+    } catch (const Error&) {
+      threw = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(threw) << "tiny payments were absorbed, never rejected";
+  // The admitted payments really accumulated (no freeze-and-forget)...
+  EXPECT_GT(static_cast<double>(paid) * tiny, 0.5 - 1e-6);
+  // ...and the strict-mode overdraft stayed within the tolerance bound.
+  EXPECT_LE(b.overdraft(), tolerance + tiny);
+  EXPECT_GE(b.spent(), total - tolerance - tiny);
+}
+
+TEST(BudgetTracker, CompensatedSumIsExactWhereNaiveIsNot) {
+  // 1e8 + 1e7 * 5e-9 = 1e8 + 0.05; the naive sum loses every addend
+  // (5e-9 < ulp(1e8)/2 ≈ 7.5e-9) and reports 1e8 unchanged.
+  BudgetTracker b(2e8, /*strict=*/false);
+  b.pay(1e8);
+  for (int i = 0; i < 10'000'000; ++i) b.pay(5e-9);
+  EXPECT_NEAR(b.spent(), 1e8 + 0.05, 1e-6);
+}
+
+TEST(BudgetTracker, ToleranceScalesWithTheBudget) {
+  // Absolute term only: a small budget admits a 1e-10 overshoot...
+  BudgetTracker small(1.0);
+  small.pay(1.0);
+  EXPECT_TRUE(small.can_afford(1e-10));
+  EXPECT_FALSE(small.can_afford(1e-8));
+  // ...and the relative term keeps a huge budget workable at its own ulp
+  // scale (1e-5 ≪ one ulp of 1e12 ≈ 1.2e-4, yet far above 1e-9).
+  BudgetTracker big(1e12);
+  big.pay(1e12);
+  EXPECT_TRUE(big.can_afford(1e-5));
+  EXPECT_FALSE(big.can_afford(2.0));  // > 1e-9 + 1e-12 * 1e12 ≈ 1.0
+}
+
 TEST(BudgetTracker, NegativePaymentRejected) {
   BudgetTracker b(10.0, /*strict=*/false);
   EXPECT_THROW(b.pay(-1.0), Error);

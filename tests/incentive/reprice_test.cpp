@@ -114,6 +114,71 @@ TEST(OnDemandReprice, RepriceBeforeAnyPublishIsAFullRecompute) {
   expect_matches_full(m, w, 1);
 }
 
+// The O(dirty) contract: the fast path must reprice exactly the dirty set
+// plus the journaled count changes — never the whole task set — and the
+// fallbacks must report full-width work. last_reprice_touched() pins it.
+TEST(OnDemandReprice, FastPathTouchesOnlyDirtyAndJournaledPositions) {
+  model::World w = make_world();
+  OnDemandMechanism m = make_on_demand();
+  m.update_rewards(w, 1);
+
+  // Nothing changed: the fast path does zero repricing work.
+  m.reprice(w, 1, {});
+  EXPECT_EQ(m.last_reprice_touched(), 0u);
+
+  // User 2 walks from task 1's disc to task 2's (Nmax stays 2) and task 0
+  // gains a measurement: exactly positions {0} ∪ {1, 2} are repriced.
+  w.users()[2].set_location({1500.0, 320.0});
+  w.tasks()[0].add_measurement(UserId{7}, 1, 1.0);
+  m.reprice(w, 1, {0});
+  EXPECT_EQ(m.last_reprice_touched(), 3u);
+  expect_matches_full(m, w, 1);
+}
+
+TEST(OnDemandReprice, NmaxFallbackReportsFullWidthWork) {
+  model::World w = make_world();
+  OnDemandMechanism m = make_on_demand();
+  m.update_rewards(w, 1);
+
+  // User 2 joins task 0's disc: Nmax 2 -> 3, full recompute.
+  w.users()[2].set_location({300.0, 300.0});
+  m.reprice(w, 1, {});
+  EXPECT_EQ(m.last_reprice_touched(), w.num_tasks());
+  expect_matches_full(m, w, 1);
+}
+
+TEST(OnDemandReprice, CacheRebuildFallsBackToFullRecompute) {
+  model::World w = make_world();
+  OnDemandMechanism m = make_on_demand();
+  m.update_rewards(w, 1);
+
+  // Growing the population rebuilds the neighbor cache: there is no
+  // per-position delta to replay, so reprice must recompute in full (the
+  // new user lands in task 2's empty disc, so Nmax alone would not
+  // catch it).
+  w.add_user({1500.0, 320.0}, 600.0);
+  m.reprice(w, 1, {});
+  EXPECT_EQ(m.last_reprice_touched(), w.num_tasks());
+  expect_matches_full(m, w, 1);
+}
+
+TEST(OnDemandReprice, ConsecutiveFastPathsEachConsumeTheirOwnDelta) {
+  model::World w = make_world();
+  OnDemandMechanism m = make_on_demand();
+  m.update_rewards(w, 1);
+
+  // Two fast-path reprices in a row, each after one move that keeps
+  // Nmax at 2: each must see only its own journal slice.
+  w.users()[2].set_location({1500.0, 320.0});  // task 1 -> task 2
+  m.reprice(w, 1, {});
+  EXPECT_EQ(m.last_reprice_touched(), 2u);
+
+  w.users()[2].set_location({900.0, 320.0});  // back: task 2 -> task 1
+  m.reprice(w, 1, {});
+  EXPECT_EQ(m.last_reprice_touched(), 2u);
+  expect_matches_full(m, w, 1);
+}
+
 TEST(SteeredReprice, DirtyMeasurementDeltaMatchesFullRecompute) {
   model::World w = make_world();
   SteeredMechanism m(0.5, 10.0, 0.2);

@@ -4,6 +4,7 @@
 // task additions (integer counts, shared distance predicate — no epsilon).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,6 +85,72 @@ TEST(NeighborCache, PopulationAndTaskGrowthForceRebuild) {
   // And moves keep delta-syncing correctly after the rebuilds.
   w.users()[3].set_location({705.0, 705.0});
   EXPECT_EQ(w.neighbor_counts(), brute_force_counts(w));
+}
+
+TEST(NeighborCache, RunningMaxMatchesMaxElementAcrossRandomMoves) {
+  const double side = 2000.0;
+  World w(geo::BoundingBox::square(side), geo::TravelModel{}, 300.0);
+  Rng rng(99);
+  for (int i = 0; i < 25; ++i) w.add_task(random_point(rng, side), 10, 5);
+  for (int i = 0; i < 60; ++i) w.add_user(random_point(rng, side), 600.0);
+
+  for (int iter = 0; iter < 40; ++iter) {
+    const int moves = static_cast<int>(rng.uniform_int(0, 10));
+    for (int m = 0; m < moves; ++m) {
+      const auto who = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(w.num_users()) - 1));
+      w.users()[who].set_location(random_point(rng, side));
+    }
+    const std::vector<int>& counts = w.neighbor_counts();
+    EXPECT_EQ(w.neighbor_max_count(),
+              *std::max_element(counts.begin(), counts.end()))
+        << "iter " << iter;
+  }
+}
+
+TEST(NeighborCache, ChangeJournalReportsExactlyTheTouchedTasks) {
+  World w(geo::BoundingBox::square(3000.0), geo::TravelModel{}, 500.0);
+  w.add_task({300.0, 300.0}, 10, 5);
+  w.add_task({900.0, 300.0}, 10, 5);
+  w.add_task({1500.0, 300.0}, 10, 5);
+  w.add_user({300.0, 320.0}, 600.0);
+  w.add_user({900.0, 320.0}, 600.0);
+
+  // First take after construction: a rebuild, no delta to replay.
+  model::World::NeighborDelta d = w.take_neighbor_changes();
+  EXPECT_TRUE(d.rebuilt);
+
+  // No movement: an empty, non-rebuilt delta.
+  d = w.take_neighbor_changes();
+  EXPECT_FALSE(d.rebuilt);
+  ASSERT_NE(d.changed, nullptr);
+  EXPECT_TRUE(d.changed->empty());
+
+  // User 0 walks from task 0's disc to task 2's: exactly {0, 2} touched.
+  w.users()[0].set_location({1500.0, 320.0});
+  d = w.take_neighbor_changes();
+  EXPECT_FALSE(d.rebuilt);
+  std::vector<std::size_t> touched(*d.changed);
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<std::size_t>{0, 2}));
+
+  // A round trip within one sync window is journaled (first-touch, not
+  // net-change): consumers recompute from the current count, so the
+  // net-zero entry is redundant but never wrong.
+  w.users()[0].set_location({300.0, 320.0});
+  (void)w.neighbor_counts();  // sync: leaves 2, enters 0
+  w.users()[0].set_location({1500.0, 320.0});
+  (void)w.neighbor_counts();  // sync: leaves 0, enters 2
+  d = w.take_neighbor_changes();
+  EXPECT_FALSE(d.rebuilt);
+  touched.assign(d.changed->begin(), d.changed->end());
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<std::size_t>{0, 2}));
+
+  // Growth rebuilds the cache; the journal must say so.
+  w.add_user({900.0, 280.0}, 600.0);
+  d = w.take_neighbor_changes();
+  EXPECT_TRUE(d.rebuilt);
 }
 
 TEST(NeighborCache, ZeroRadiusAndCoincidentPoints) {

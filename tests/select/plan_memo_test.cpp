@@ -1,0 +1,278 @@
+// PlanMemo's two reuse proofs and its accounting (select/plan_memo.h):
+// a cached plan is returned only for a bit-equal instance (exact hit) or
+// through the dominance fix-up for a provably-empty optimum; every
+// constructed near-miss — same key, different reachable set — must take
+// the exact fallback. Hashes only route to buckets; these tests steer keys
+// through geometry, never through hash values.
+#include "select/plan_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "select/candidate_pool.h"
+
+namespace mcs::select {
+namespace {
+
+// Three candidates clustered far in the upper-right of the area, so every
+// start point inside the origin cell [0,250)^2 is "closer/farther" from all
+// of them monotonically along the diagonal.
+std::shared_ptr<const CandidatePool> make_pool() {
+  std::vector<Candidate> c;
+  c.push_back({TaskId{0}, {2000.0, 2000.0}, 2.0});
+  c.push_back({TaskId{1}, {2200.0, 1900.0}, 3.0});
+  c.push_back({TaskId{2}, {1900.0, 2300.0}, 1.5});
+  return std::make_shared<CandidatePool>(std::move(c));
+}
+
+SelectionInstance make_inst(const std::shared_ptr<const CandidatePool>& pool,
+                            const std::vector<std::int32_t>& rows,
+                            geo::Point start, Seconds budget) {
+  SelectionInstance inst;
+  inst.start = start;
+  inst.travel = geo::TravelModel{2.0, 0.002};
+  inst.time_budget = budget;
+  inst.pool = pool;
+  for (const std::int32_t row : rows) {
+    inst.candidates.push_back(
+        pool->candidates()[static_cast<std::size_t>(row)]);
+    inst.pool_index.push_back(row);
+  }
+  return inst;
+}
+
+Selection make_plan() {
+  Selection s;
+  s.order = {TaskId{1}, TaskId{0}};
+  s.distance = 3100.0;
+  s.reward = 5.0;
+  s.cost = 6.2;
+  return s;
+}
+
+TEST(PlanMemo, ExactHitCopiesTheOwnersPlan) {
+  auto pool = make_pool();
+  PlanMemoParams p;
+  p.enabled = true;
+  PlanMemo memo(p);
+  memo.begin_round(*pool);
+
+  const SelectionInstance owner = make_inst(pool, {0, 1}, {100.0, 100.0},
+                                            3000.0);
+  const PlanMemo::Ticket t0 = memo.classify(owner, /*exact_limit=*/14);
+  ASSERT_EQ(t0.outcome, PlanMemo::Outcome::kOwner);
+  ASSERT_NE(t0.entry, PlanMemo::kNoEntry);
+  EXPECT_EQ(memo.stats().misses, 1);
+
+  memo.publish(t0, make_plan(), /*feasible=*/true);
+
+  // A bit-equal instance (another user at the same POI, same budget, same
+  // contributed set) gets the cached plan verbatim.
+  const SelectionInstance probe = make_inst(pool, {0, 1}, {100.0, 100.0},
+                                            3000.0);
+  const PlanMemo::Ticket t1 = memo.classify(probe, 14);
+  ASSERT_EQ(t1.outcome, PlanMemo::Outcome::kExactHit);
+  const Selection& cached = memo.cached_plan(t1);
+  EXPECT_EQ(cached.order, make_plan().order);
+  EXPECT_EQ(cached.distance, make_plan().distance);
+  EXPECT_EQ(cached.reward, make_plan().reward);
+  EXPECT_EQ(cached.cost, make_plan().cost);
+  EXPECT_TRUE(memo.cached_feasible(t1));
+  EXPECT_EQ(memo.stats().exact_hits, 1);
+  EXPECT_EQ(memo.stats().misses, 1);
+}
+
+TEST(PlanMemo, DifferentIncludedSubsetIsAMiss) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  const PlanMemo::Ticket a =
+      memo.classify(make_inst(pool, {0, 1}, {100.0, 100.0}, 3000.0), 14);
+  memo.publish(a, make_plan(), true);
+  // Same start, same budget — but this user already contributed to task 1,
+  // so its included subset differs. Must not hit.
+  const PlanMemo::Ticket b =
+      memo.classify(make_inst(pool, {0, 2}, {100.0, 100.0}, 3000.0), 14);
+  EXPECT_EQ(b.outcome, PlanMemo::Outcome::kOwner);
+  EXPECT_EQ(memo.stats().exact_hits, 0);
+  EXPECT_EQ(memo.stats().misses, 2);
+}
+
+TEST(PlanMemo, RepricedCandidateDegradesToAMiss) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  const PlanMemo::Ticket a =
+      memo.classify(make_inst(pool, {0, 1}, {100.0, 100.0}, 3000.0), 14);
+  memo.publish(a, make_plan(), true);
+
+  // Same geometry, different published reward: prices are part of the
+  // verification, so the memo must refuse the cached plan.
+  SelectionInstance repriced = make_inst(pool, {0, 1}, {100.0, 100.0},
+                                         3000.0);
+  repriced.candidates[0].reward = 99.0;
+  const PlanMemo::Ticket b = memo.classify(repriced, 14);
+  EXPECT_EQ(b.outcome, PlanMemo::Outcome::kOwner);
+  EXPECT_EQ(memo.stats().exact_hits, 0);
+}
+
+TEST(PlanMemo, DominanceFixupProvesTheEmptyPlan) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  // Owner at (240,240): the closest point of the origin cell to the
+  // cluster. Tiny budget => exact solver returns the empty tour.
+  const SelectionInstance owner =
+      make_inst(pool, {0, 1, 2}, {240.0, 240.0}, 60.0);
+  const PlanMemo::Ticket t0 = memo.classify(owner, 14);
+  ASSERT_EQ(t0.outcome, PlanMemo::Outcome::kOwner);
+  memo.publish(t0, Selection{}, /*feasible=*/true);
+
+  // Prober at (10,10), same cell and budget bucket, strictly farther from
+  // every candidate, budget no larger: every tour it could afford, the
+  // owner could afford at no higher cost — its optimum is empty too.
+  const SelectionInstance probe =
+      make_inst(pool, {0, 1, 2}, {10.0, 10.0}, 60.0);
+  PlanMemo::Ticket t1 = memo.classify(probe, 14);
+  ASSERT_EQ(t1.outcome, PlanMemo::Outcome::kPending);
+  const Selection* plan = nullptr;
+  ASSERT_TRUE(memo.resolve(t1, &plan));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(memo.stats().fixup_hits, 1);
+  EXPECT_EQ(memo.stats().fallbacks, 0);
+}
+
+TEST(PlanMemo, NearMissSameSignatureDifferentReachableSetFallsBack) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  // Owner close enough (and funded enough) that its optimum is a real tour.
+  const SelectionInstance owner =
+      make_inst(pool, {0, 1, 2}, {240.0, 240.0}, 4000.0);
+  const PlanMemo::Ticket t0 = memo.classify(owner, 14);
+  ASSERT_EQ(t0.outcome, PlanMemo::Outcome::kOwner);
+  memo.publish(t0, make_plan(), true);
+
+  // Prober: same included subset (same signature, same budget bucket ⇒
+  // same key), dominated start, smaller budget — its reachable set under
+  // the travel budget is genuinely different, and the owner's optimum is
+  // non-empty, so no fix-up argument applies. resolve() must send it to
+  // the exact fallback.
+  const SelectionInstance probe =
+      make_inst(pool, {0, 1, 2}, {10.0, 10.0}, 3990.0);
+  PlanMemo::Ticket t1 = memo.classify(probe, 14);
+  ASSERT_EQ(t1.outcome, PlanMemo::Outcome::kPending);
+  const Selection* plan = nullptr;
+  EXPECT_FALSE(memo.resolve(t1, &plan));
+  EXPECT_EQ(memo.stats().fixup_hits, 0);
+  EXPECT_EQ(memo.stats().fallbacks, 1);
+  // A fallback is a full solve: counted in misses too.
+  EXPECT_EQ(memo.stats().misses, 2);
+}
+
+TEST(PlanMemo, HeuristicSelectorNeverTakesTheDominancePath) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  const PlanMemo::Ticket t0 =
+      memo.classify(make_inst(pool, {0, 1, 2}, {240.0, 240.0}, 60.0), 14);
+  memo.publish(t0, Selection{}, true);
+
+  // exact_candidate_limit = 0 (a heuristic): the empty-optimum dominance
+  // argument needs exactness on both sides, so the dominated prober must
+  // classify as a fresh owner, never as pending.
+  const PlanMemo::Ticket t1 =
+      memo.classify(make_inst(pool, {0, 1, 2}, {10.0, 10.0}, 60.0),
+                    /*exact_limit=*/0);
+  EXPECT_EQ(t1.outcome, PlanMemo::Outcome::kOwner);
+}
+
+TEST(PlanMemo, ProberWithLargerBudgetIsNotDominated) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+
+  const PlanMemo::Ticket t0 =
+      memo.classify(make_inst(pool, {0, 1, 2}, {240.0, 240.0}, 60.0), 14);
+  memo.publish(t0, Selection{}, true);
+
+  // Farther start but a *larger* budget (same 60 s bucket): the prober
+  // might afford a tour the owner could not — dominance must not trigger.
+  const PlanMemo::Ticket t1 =
+      memo.classify(make_inst(pool, {0, 1, 2}, {10.0, 10.0}, 110.0), 14);
+  EXPECT_EQ(t1.outcome, PlanMemo::Outcome::kOwner);
+}
+
+TEST(PlanMemo, FullBucketStopsInsertionButStillSolves) {
+  auto pool = make_pool();
+  PlanMemoParams p;
+  p.max_entries_per_key = 1;
+  PlanMemo memo(p);
+  memo.begin_round(*pool);
+
+  const PlanMemo::Ticket a =
+      memo.classify(make_inst(pool, {0, 1, 2}, {10.0, 10.0}, 3000.0), 14);
+  ASSERT_EQ(a.outcome, PlanMemo::Outcome::kOwner);
+  ASSERT_NE(a.entry, PlanMemo::kNoEntry);
+  memo.publish(a, make_plan(), true);
+
+  // Same key (same cell, same bucket, same subset) but a closer start (not
+  // an exact hit, not dominated): the bucket is full, so this owner is not
+  // cached — publish must be a harmless no-op.
+  const PlanMemo::Ticket b =
+      memo.classify(make_inst(pool, {0, 1, 2}, {200.0, 200.0}, 3000.0), 14);
+  ASSERT_EQ(b.outcome, PlanMemo::Outcome::kOwner);
+  EXPECT_EQ(b.entry, PlanMemo::kNoEntry);
+  memo.publish(b, Selection{}, true);
+  EXPECT_EQ(memo.stats().misses, 2);
+}
+
+TEST(PlanMemo, BeginRoundDropsEntriesButKeepsStats) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+  const PlanMemo::Ticket a =
+      memo.classify(make_inst(pool, {0, 1}, {100.0, 100.0}, 3000.0), 14);
+  memo.publish(a, make_plan(), true);
+  (void)memo.classify(make_inst(pool, {0, 1}, {100.0, 100.0}, 3000.0), 14);
+  EXPECT_EQ(memo.stats().exact_hits, 1);
+
+  memo.begin_round(*pool);
+  // The identical instance is an owner again — last round's table is gone.
+  const PlanMemo::Ticket c =
+      memo.classify(make_inst(pool, {0, 1}, {100.0, 100.0}, 3000.0), 14);
+  EXPECT_EQ(c.outcome, PlanMemo::Outcome::kOwner);
+  EXPECT_EQ(memo.stats().rounds, 2);
+  EXPECT_EQ(memo.stats().exact_hits, 1);  // cumulative across rounds
+  EXPECT_EQ(memo.stats().misses, 2);      // one owner per round
+  EXPECT_EQ(memo.stats().lookups(),
+            memo.stats().hits() + memo.stats().misses);
+}
+
+TEST(PlanMemo, RejectsInstancesWithoutTheRoundPool) {
+  auto pool = make_pool();
+  PlanMemo memo({});
+  memo.begin_round(*pool);
+  SelectionInstance inst = make_inst(pool, {0}, {100.0, 100.0}, 600.0);
+  inst.pool = nullptr;
+  inst.pool_index.clear();
+  EXPECT_THROW(memo.classify(inst, 14), Error);
+
+  // A pool other than the one begin_round() announced is rejected too.
+  auto other = make_pool();
+  EXPECT_THROW(
+      memo.classify(make_inst(other, {0}, {100.0, 100.0}, 600.0), 14),
+      Error);
+}
+
+}  // namespace
+}  // namespace mcs::select
