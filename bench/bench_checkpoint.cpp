@@ -1,0 +1,112 @@
+// Checkpoint overhead: what one write (encode + tmp + fsync + rename + dir
+// fsync + prune) and one load (read + CRC verify + parse + world rebuild)
+// cost for a mid-campaign snapshot, and how the envelope encode/decode pair
+// scales on its own. This bounds the price of `--checkpoint-every k` in a
+// sweep: write cost is paid every k rounds per repetition, load cost only
+// on a crash-recovery resume. The fsyncs dominate BM_CheckpointWrite on
+// real disks, which is exactly the number the knob's consumer needs.
+//
+// Methodology: one fixed checkpoint fixture (30 users, 12 tasks, 4 rounds
+// in, events recorded) is captured once; iterations reuse it, so every
+// sample serializes an identical byte stream. bytes_per_second reports the
+// envelope size throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "incentive/mechanism.h"
+#include "select/selector.h"
+#include "sim/checkpoint.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mcs;
+
+sim::CampaignCheckpoint make_checkpoint() {
+  sim::ScenarioParams p;
+  p.num_users = 30;
+  p.num_tasks = 12;
+  p.required_measurements = 6;
+  Rng rng(4242);
+  model::World world = sim::generate_world(p, rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                        world, {}, mech_rng);
+  auto selector = select::make_selector(select::SelectorKind::kGreedy, 14);
+  sim::SimulatorParams sp;
+  sp.max_rounds = 15;
+  sp.record_events = true;
+  sim::Simulator s(std::move(world), std::move(mech), std::move(selector), sp);
+  for (int k = 0; k < 4; ++k) s.step();
+  return s.checkpoint();
+}
+
+std::string make_temp_dir() {
+  std::string tmpl = "/tmp/mcs_bench_ckpt_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  return tmpl;
+}
+
+void BM_CheckpointEncode(benchmark::State& state) {
+  const sim::CampaignCheckpoint ckpt = make_checkpoint();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string envelope = sim::encode_checkpoint(ckpt);
+    bytes = envelope.size();
+    benchmark::DoNotOptimize(envelope.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_CheckpointEncode);
+
+void BM_CheckpointDecode(benchmark::State& state) {
+  const std::string envelope = sim::encode_checkpoint(make_checkpoint());
+  for (auto _ : state) {
+    const sim::CampaignCheckpoint back = sim::decode_checkpoint(envelope);
+    benchmark::DoNotOptimize(back.next_round);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(envelope.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CheckpointDecode);
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  const sim::CampaignCheckpoint ckpt = make_checkpoint();
+  const std::string dir = make_temp_dir();
+  sim::CheckpointWriter writer(dir, /*keep=*/2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.write(ckpt));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(sim::encode_checkpoint(ckpt).size()) *
+      state.iterations());
+  const int rc = std::system(("rm -rf " + dir).c_str());
+  (void)rc;
+}
+BENCHMARK(BM_CheckpointWrite);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const sim::CampaignCheckpoint ckpt = make_checkpoint();
+  const std::string dir = make_temp_dir();
+  {
+    sim::CheckpointWriter writer(dir);
+    writer.write(ckpt);
+    writer.write(ckpt);
+  }
+  for (auto _ : state) {
+    const sim::LoadedCheckpoint loaded = sim::load_latest_checkpoint(dir);
+    benchmark::DoNotOptimize(loaded.generation);
+  }
+  const int rc = std::system(("rm -rf " + dir).c_str());
+  (void)rc;
+}
+BENCHMARK(BM_CheckpointLoad);
+
+}  // namespace

@@ -14,7 +14,15 @@
 #      behaviour could shift under optimization), plus a smoke run of the
 #      micro benches so a broken bench binary fails tier-1, not bench day.
 #
+# The ASan stage also carries the durability net: the checkpoint envelope /
+# writer / corruption-fuzz suites, the checkpoint-resume equivalence matrix
+# and the crash harness (CheckpointCrash forks the test binary and _exit()s
+# mid-write). --skip-crash excludes the fork-based crash tests on platforms
+# where fork inside a sanitized test binary is awkward; everything else
+# still runs.
+#
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-release]
+#                         [--skip-crash]
 #   MCS_ASAN=0 in the environment also skips the ASan stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,14 +32,20 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_RELEASE=0
+SKIP_CRASH=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-release) SKIP_RELEASE=1 ;;
+    --skip-crash) SKIP_CRASH=1 ;;
     *) echo "tier1: unknown argument ${arg}" >&2; exit 2 ;;
   esac
 done
+CRASH_EXCLUDE=()
+if [[ "${SKIP_CRASH}" == "1" ]]; then
+  CRASH_EXCLUDE=(-E 'CheckpointCrash')
+fi
 if [[ "${MCS_ASAN:-1}" == "0" ]]; then
   SKIP_ASAN=1
 fi
@@ -60,9 +74,15 @@ if [[ "${SKIP_ASAN}" == "1" ]]; then
 else
   cmake -B build-asan -S . -DMCS_ASAN=ON
   cmake --build build-asan -j "${JOBS}" --target test_sim test_integration
+  # Checkpoint* picks up the envelope/writer suites, the corruption fuzzers,
+  # the resume-equivalence matrix, the RunnerCheckpoint recovery tests and
+  # the fork-based CheckpointCrash kill-mid-write harness (unless
+  # --skip-crash); decode and the directory-fallback walk are exactly the
+  # code that must never read past a truncated buffer.
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
-    -R 'Fault|RunnerFailure|Simulator|EventLog'
+    -R 'Fault|RunnerFailure|Simulator|EventLog|Checkpoint|SerializeWorld' \
+    "${CRASH_EXCLUDE[@]}"
 fi
 
 if [[ "${SKIP_RELEASE}" == "1" ]]; then
@@ -71,18 +91,25 @@ else
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "${JOBS}" \
     --target test_select test_sim test_incentive test_model \
-    bench_selector_scaling bench_campaign_throughput bench_incentive_micro
+    bench_selector_scaling bench_campaign_throughput bench_incentive_micro \
+    bench_checkpoint
   # Selector equivalence plus the plan/memo/reprice/neighbor-cache
   # equivalence suites at the optimization level performance numbers are
   # quoted at (bit-identity claims must hold under -O3 as well). PlanMemo
   # covers both the unit proofs and the campaign-level memo equivalence;
   # BudgetTracker pins the compensated-sum overdraft bound under -O3.
+  # CheckpointResume joins the -O3 net: bit-identical resume is a
+  # floating-point identity claim just like the selector equivalences.
   ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
-    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker'
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
     --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8' >/dev/null
+  # Checkpoint write/load smoke: a broken durability bench (or a checkpoint
+  # layer that stopped round-tripping under -O3) fails tier-1 here.
+  ./build-release/bench/bench_checkpoint --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_CheckpointWrite|BM_CheckpointLoad' >/dev/null
   # The steady-state repricing path must stay allocation-free; the bench
   # counts operator-new calls per iteration and reports them as a counter.
   ALLOC_OUT="$(./build-release/bench/bench_incentive_micro --benchmark_min_time=0.01 \

@@ -5,6 +5,8 @@
 // never correctness.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace mcs {
@@ -21,6 +23,32 @@ inline std::uint64_t mix64(std::uint64_t x) {
 /// in a different order yields a different hash.
 inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
   return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum of
+/// the campaign-checkpoint envelope. Unlike mix64/hash_combine this one IS
+/// used for integrity, not bucketing: the standard test vector
+/// crc32("123456789") == 0xCBF43926 is pinned in tests. Resumable: pass a
+/// previous result as `seed` to continue over concatenated chunks.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace mcs

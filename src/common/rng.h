@@ -45,6 +45,25 @@ class Rng {
     for (auto& s : s_) s = sm.next();
   }
 
+  /// The complete generator state: the xoshiro256** 4x64-bit word array.
+  /// There is nothing else — normal() uses the basic (non-polar) Box–Muller
+  /// form and draws both uniforms fresh on every call, so no spare variate
+  /// is ever cached. restore_state(state()) therefore resumes the stream
+  /// exactly: every subsequent draw (next, uniform, uniform_int, normal,
+  /// exponential, shuffle) is bit-identical to the uninterrupted sequence.
+  using State = std::array<std::uint64_t, 4>;
+
+  State state() const { return s_; }
+
+  /// Restore a previously captured state. The all-zero state is the one
+  /// fixed point xoshiro256** can never leave; a checkpoint can only contain
+  /// it through corruption, so it is rejected rather than installed.
+  void restore_state(const State& state) {
+    MCS_CHECK((state[0] | state[1] | state[2] | state[3]) != 0,
+              "xoshiro256** state must not be all-zero");
+    s_ = state;
+  }
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
 

@@ -103,6 +103,15 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   MCS_CHECK(e.plan_threads >= 0,
             "--plan-threads must be >= 0 (0 = all cores, 1 = serial)");
   e.plan_memo = cfg.get_bool("plan-memo", plan_memo_default_from_env());
+  e.max_attempts = static_cast<int>(cfg.get_int("max-attempts", e.max_attempts));
+  MCS_CHECK(e.max_attempts >= 1, "--max-attempts must be >= 1");
+  e.checkpoint_every =
+      static_cast<Round>(cfg.get_int("checkpoint-every", e.checkpoint_every));
+  MCS_CHECK(e.checkpoint_every >= 0,
+            "--checkpoint-every must be >= 0 (0 = off)");
+  e.checkpoint_dir = cfg.get_string("checkpoint-dir", e.checkpoint_dir);
+  MCS_CHECK(e.checkpoint_every == 0 || !e.checkpoint_dir.empty(),
+            "--checkpoint-every needs --checkpoint-dir");
   return e;
 }
 
@@ -235,7 +244,12 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " plan-threads="
             << (cfg.plan_threads == 0 ? std::string("auto")
                                       : std::to_string(cfg.plan_threads))
-            << " plan-memo=" << (cfg.plan_memo ? "on" : "off") << "\n";
+            << " plan-memo=" << (cfg.plan_memo ? "on" : "off")
+            << " max-attempts=" << cfg.max_attempts << "\n";
+  if (cfg.checkpoint_every > 0) {
+    std::cout << "checkpoints: every=" << cfg.checkpoint_every
+              << " dir=" << cfg.checkpoint_dir << "\n";
+  }
   if (cfg.faults.any()) {
     std::cout << "faults: dropout=" << cfg.faults.dropout_prob
               << " abandon=" << cfg.faults.abandon_prob

@@ -59,11 +59,37 @@ struct ExperimentConfig {
   // expose the rates as --dropout/--abandon/--loss/--corrupt/--withdraw.
   sim::FaultPlan faults;
   // Diagnostic/test hook, called (from the worker thread) at the start of
-  // every repetition attempt: attempt 0 always, attempt 1 only for the
-  // single same-seed retry after an mcs::Error. A throwing probe counts as
-  // a failing attempt — fault-tolerance tests use it to inject repetition
-  // failures. Must be thread-safe; null (the default) is skipped.
+  // every repetition attempt: attempt 0 always, higher attempts only for
+  // same-seed retries after an mcs::Error (up to max_attempts in total). A
+  // throwing probe counts as a failing attempt — fault-tolerance tests use
+  // it to inject repetition failures. Must be thread-safe; null (the
+  // default) is skipped.
   std::function<void(int rep, int attempt)> repetition_probe;
+  // Attempt budget per repetition: the initial attempt plus up to
+  // max_attempts-1 same-seed retries (the historical behaviour is 2 — one
+  // retry). Must be >= 1.
+  int max_attempts = 2;
+  // Called (from the worker thread) before every retry — attempt >= 1,
+  // never for the initial attempt. Production callers sleep here;
+  // deterministic tests record the (rep, attempt) pairs instead, keeping
+  // wall-clock out of the suite. Must be thread-safe; null (the default)
+  // retries immediately.
+  std::function<void(int rep, int attempt)> retry_backoff;
+  // Campaign checkpointing (sim/checkpoint.h): checkpoint_every > 0 with a
+  // non-empty checkpoint_dir writes a checkpoint every k rounds into
+  // <checkpoint_dir>/rep-<rep>/ and — the payoff — a repetition attempt
+  // that throws RESUMES from its last good generation on retry instead of
+  // rerunning the whole campaign. Resume is bit-identical to the straight
+  // run (pinned by the checkpoint-resume equivalence suite), so aggregates
+  // are unchanged whether a repetition crashed or not. Checkpoints carry a
+  // provenance stamp of the full repetition identity (seed, scenario,
+  // mechanism + params, selector, mobility, faults, max_rounds); a
+  // checkpoint whose stamp does not match is never resumed, so sweeps may
+  // reuse one checkpoint_dir across sweep points — each point starts fresh
+  // over the previous point's leftovers. 0 (default) keeps checkpointing
+  // off.
+  Round checkpoint_every = 0;
+  std::string checkpoint_dir;
 };
 
 struct RepetitionResult {
@@ -82,9 +108,10 @@ RepetitionResult run_repetition(const ExperimentConfig& cfg,
 /// stream independence and callers can re-run a single repetition.
 std::uint64_t repetition_seed(const ExperimentConfig& cfg, int rep);
 
-/// A repetition whose campaign threw mcs::Error twice (the initial attempt
-/// and one same-seed retry). Recorded instead of aborting the sweep; the
-/// seed lets the failure be replayed with run_repetition.
+/// A repetition whose campaign threw mcs::Error on every attempt (the
+/// initial one plus the same-seed retries of cfg.max_attempts). Recorded
+/// instead of aborting the sweep; the seed lets the failure be replayed
+/// with run_repetition.
 struct FailedRepetition {
   int rep = -1;
   std::uint64_t seed = 0;
@@ -125,14 +152,21 @@ struct AggregateResult {
   RunningStats abandoned_tours;
   RunningStats lost_measurements;
   RunningStats wasted_travel;
-  // Repetitions that failed twice (see FailedRepetition), in rep order.
+  // Repetitions that exhausted their attempt budget (see FailedRepetition),
+  // in rep order.
   std::vector<FailedRepetition> failed_reps;
+  // Attempts consumed per repetition (index = rep; 1 = first try
+  // succeeded, cfg.max_attempts = every retry was needed — whether the
+  // last one succeeded is what failed_reps records).
+  std::vector<int> rep_attempts;
 };
 
 /// Runs cfg.repetitions campaigns and aggregates them. A repetition that
-/// throws mcs::Error is retried once with the same seed; if it fails again
-/// it lands in failed_reps and the sweep continues. Throws only when every
-/// repetition failed (there is nothing to aggregate).
+/// throws mcs::Error is retried with the same seed (cfg.max_attempts,
+/// cfg.retry_backoff; with checkpointing enabled a retry resumes from the
+/// last good checkpoint instead of rerunning from round 1); once the
+/// budget is exhausted it lands in failed_reps and the sweep continues.
+/// Throws only when every repetition failed (nothing to aggregate).
 AggregateResult run_experiment(const ExperimentConfig& cfg);
 
 /// Builds the incentive mechanism for one repetition; `rng` is that

@@ -64,6 +64,25 @@ void AdaptiveBudgetMechanism::update_rewards(const model::World& world,
   }
 }
 
+Json AdaptiveBudgetMechanism::state_to_json() const {
+  Json state = IncentiveMechanism::state_to_json();
+  state["initial_r0"] = initial_r0_;
+  if (rule_ != nullptr) state["rule_r0"] = rule_->r0();
+  return state;
+}
+
+void AdaptiveBudgetMechanism::restore_state(const Json& state) {
+  IncentiveMechanism::restore_state(state);
+  initial_r0_ = state.at("initial_r0").as_number();
+  MCS_CHECK(initial_r0_ >= 0.0, "initial r0 must be non-negative");
+  if (state.has("rule_r0")) {
+    rule_ = std::make_unique<RewardRule>(state.at("rule_r0").as_number(),
+                                         lambda_, scale_.levels());
+  } else {
+    rule_.reset();
+  }
+}
+
 const RewardRule& AdaptiveBudgetMechanism::current_rule() const {
   MCS_CHECK(rule_ != nullptr, "update_rewards not called yet");
   return *rule_;

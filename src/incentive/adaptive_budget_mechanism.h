@@ -35,6 +35,12 @@ class AdaptiveBudgetMechanism final : public IncentiveMechanism {
   /// The rule in force after the most recent update.
   const RewardRule& current_rule() const;
 
+  /// Checkpoint state: the lazily computed initial r0 anchor and, once an
+  /// update has run, the current rule's r0 (lambda and levels are
+  /// construction parameters, so the rule is rebuilt from r0 alone).
+  Json state_to_json() const override;
+  void restore_state(const Json& state) override;
+
  private:
   DemandIndicator indicator_;
   DemandLevelScale scale_;

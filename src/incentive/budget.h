@@ -40,6 +40,18 @@ class BudgetTracker {
   /// the budget (beyond the can_afford() tolerance).
   void pay(Money amount);
 
+  /// The two raw accumulator words, exposed for checkpointing. Restoring
+  /// (spent_raw, compensation) verbatim — rather than folding them into one
+  /// payment — keeps every subsequent pay() bit-identical to the
+  /// uninterrupted run: the Neumaier recurrence depends on both words, not
+  /// just their sum.
+  Money spent_raw() const { return spent_; }
+  Money compensation() const { return comp_; }
+  void restore(Money spent, Money comp) {
+    spent_ = spent;
+    comp_ = comp;
+  }
+
  private:
   Money total_;
   bool strict_;

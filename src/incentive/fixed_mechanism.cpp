@@ -20,6 +20,21 @@ FixedMechanism::FixedMechanism(RewardRule rule, std::vector<int> levels)
   }
 }
 
+Json FixedMechanism::state_to_json() const {
+  Json state = IncentiveMechanism::state_to_json();
+  state["levels"] = int_array(levels_);
+  return state;
+}
+
+void FixedMechanism::restore_state(const Json& state) {
+  IncentiveMechanism::restore_state(state);
+  std::vector<int> levels = int_vector(state.at("levels"));
+  for (const int lvl : levels) {
+    MCS_CHECK(lvl >= 1 && lvl <= rule_.levels(), "demand level out of range");
+  }
+  levels_ = std::move(levels);
+}
+
 void FixedMechanism::update_rewards(const model::World& world, Round k) {
   MCS_CHECK(world.num_tasks() == levels_.size(),
             "fixed mechanism was built for a different task count");

@@ -20,6 +20,11 @@ class FixedMechanism final : public IncentiveMechanism {
 
   void update_rewards(const model::World& world, Round k) override;
 
+  /// Checkpoint state: the drawn levels (construction consumed rng, so a
+  /// rebuilt mechanism cannot re-derive them without replaying the draw).
+  Json state_to_json() const override;
+  void restore_state(const Json& state) override;
+
   const std::vector<int>& levels() const { return levels_; }
 
  private:

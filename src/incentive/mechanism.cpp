@@ -1,5 +1,7 @@
 #include "incentive/mechanism.h"
 
+#include <climits>
+
 #include "common/error.h"
 #include "common/strings.h"
 #include "incentive/fixed_mechanism.h"
@@ -13,6 +15,50 @@ void IncentiveMechanism::reprice(const model::World& world, Round k,
                                  const std::vector<std::size_t>& dirty_tasks) {
   (void)dirty_tasks;
   update_rewards(world, k);
+}
+
+Json IncentiveMechanism::state_to_json() const {
+  Json state = Json::object();
+  state["rewards"] = money_array(rewards_);
+  return state;
+}
+
+void IncentiveMechanism::restore_state(const Json& state) {
+  rewards_ = money_vector(state.at("rewards"));
+}
+
+Json IncentiveMechanism::money_array(const std::vector<Money>& values) {
+  Json::Array out;
+  out.reserve(values.size());
+  for (const Money v : values) out.emplace_back(v);
+  return Json(std::move(out));
+}
+
+std::vector<Money> IncentiveMechanism::money_vector(const Json& array) {
+  const Json::Array& in = array.as_array();
+  std::vector<Money> out;
+  out.reserve(in.size());
+  for (const Json& v : in) out.push_back(v.as_number());
+  return out;
+}
+
+Json IncentiveMechanism::int_array(const std::vector<int>& values) {
+  Json::Array out;
+  out.reserve(values.size());
+  for (const int v : values) out.emplace_back(v);
+  return Json(std::move(out));
+}
+
+std::vector<int> IncentiveMechanism::int_vector(const Json& array) {
+  const Json::Array& in = array.as_array();
+  std::vector<int> out;
+  out.reserve(in.size());
+  for (const Json& v : in) {
+    const long long i = v.as_int();
+    MCS_CHECK(i >= INT_MIN && i <= INT_MAX, "integer out of range");
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
 }
 
 Money IncentiveMechanism::reward(TaskId task) const {

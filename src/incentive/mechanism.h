@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "model/world.h"
@@ -58,7 +59,31 @@ class IncentiveMechanism {
 
   const std::vector<Money>& rewards() const { return rewards_; }
 
+  /// Serialize every field that influences future pricing decisions, for
+  /// campaign checkpoints. The contract is bit-exactness: after
+  /// restore_state(state_to_json()) on a mechanism constructed with the
+  /// same parameters, every subsequent update_rewards()/reprice() must
+  /// produce the same doubles the uninterrupted mechanism would.
+  /// Construction-time parameters (rules, scales, controller constants) are
+  /// NOT serialized — the resume path rebuilds the mechanism from the
+  /// experiment config first, then overlays this state. Derived classes
+  /// call the base (which carries `rewards_`) and add their own keys.
+  virtual Json state_to_json() const;
+
+  /// Inverse of state_to_json(). Throws mcs::Error on missing keys, type
+  /// mismatches or out-of-range values (corrupted checkpoint), leaving no
+  /// partially restored state a caller is allowed to keep using.
+  virtual void restore_state(const Json& state);
+
  protected:
+  // JSON helpers shared by the state_to_json()/restore_state() overrides.
+  // Doubles survive the trip bit-exactly (Json dumps %.17g); ints are
+  // range-checked on the way back in.
+  static Json money_array(const std::vector<Money>& values);
+  static std::vector<Money> money_vector(const Json& array);
+  static Json int_array(const std::vector<int>& values);
+  static std::vector<int> int_vector(const Json& array);
+
   std::vector<Money> rewards_;
 };
 

@@ -28,6 +28,28 @@ void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
   published_ = true;
 }
 
+Json OnDemandMechanism::state_to_json() const {
+  Json state = IncentiveMechanism::state_to_json();
+  state["last_demands"] = money_array(last_demands_);
+  state["last_levels"] = int_array(last_levels_);
+  state["last_max_neighbors"] = last_max_neighbors_;
+  state["last_round"] = last_round_;
+  state["published"] = published_;
+  return state;
+}
+
+void OnDemandMechanism::restore_state(const Json& state) {
+  IncentiveMechanism::restore_state(state);
+  last_demands_ = money_vector(state.at("last_demands"));
+  last_levels_ = int_vector(state.at("last_levels"));
+  const long long nmax = state.at("last_max_neighbors").as_int();
+  MCS_CHECK(nmax >= 0, "max neighbor count must be non-negative");
+  last_max_neighbors_ = static_cast<int>(nmax);
+  last_round_ = static_cast<Round>(state.at("last_round").as_int());
+  published_ = state.at("published").as_bool();
+  last_reprice_touched_ = 0;
+}
+
 void OnDemandMechanism::reprice_position(const model::World& world, Round k,
                                          std::size_t pos, int neighbors,
                                          int max_neighbors) {

@@ -45,6 +45,15 @@ class OnDemandMechanism final : public IncentiveMechanism {
   /// contract in tests and the bench fast-path gate.
   std::size_t last_reprice_touched() const { return last_reprice_touched_; }
 
+  /// Checkpoint state: the published demand/level/reward snapshot plus the
+  /// reprice bookkeeping (Nmax, round, published). last_reprice_touched_ is
+  /// a diagnostic, not pricing state, and is reset on restore. After a
+  /// resume the world's neighbor cache is freshly rebuilt, so the first
+  /// reprice() sees rebuilt=true and recomputes in full — bit-identical by
+  /// the reprice() contract, with no cache state to serialize.
+  Json state_to_json() const override;
+  void restore_state(const Json& state) override;
+
   /// Introspection of the most recent update (for tests, traces and the
   /// Table III bench): normalized demands and levels per task.
   const std::vector<double>& last_normalized_demands() const {

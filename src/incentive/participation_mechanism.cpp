@@ -23,6 +23,24 @@ void ParticipationMechanism::observe_participation(double active_fraction) {
   }
 }
 
+Json ParticipationMechanism::state_to_json() const {
+  Json state = IncentiveMechanism::state_to_json();
+  state["level"] = level_;
+  state["last_total_received"] = last_total_received_;
+  return state;
+}
+
+void ParticipationMechanism::restore_state(const Json& state) {
+  IncentiveMechanism::restore_state(state);
+  const long long level = state.at("level").as_int();
+  MCS_CHECK(level >= 1 && level <= rule_.levels(),
+            "participation level out of range");
+  level_ = static_cast<int>(level);
+  last_total_received_ = state.at("last_total_received").as_int();
+  MCS_CHECK(last_total_received_ >= 0,
+            "total received count must be non-negative");
+}
+
 void ParticipationMechanism::update_rewards(const model::World& world,
                                             Round k) {
   // Self-contained controller input: infer last round's participation from

@@ -28,6 +28,11 @@ class ParticipationMechanism final : public IncentiveMechanism {
 
   int current_level() const { return level_; }
 
+  /// Checkpoint state: the controller's level and its last participation
+  /// observation baseline.
+  Json state_to_json() const override;
+  void restore_state(const Json& state) override;
+
   /// Feed the controller one observation: the fraction of users active in
   /// the round that just ended; the next update_rewards() publishes the
   /// adjusted level. update_rewards() also infers this automatically from

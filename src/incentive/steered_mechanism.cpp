@@ -26,6 +26,17 @@ Money SteeredMechanism::reward_at(int measurements) const {
   return rc_ + mu_ * quality_gain(measurements);
 }
 
+Json SteeredMechanism::state_to_json() const {
+  Json state = IncentiveMechanism::state_to_json();
+  state["last_round"] = last_round_;
+  return state;
+}
+
+void SteeredMechanism::restore_state(const Json& state) {
+  IncentiveMechanism::restore_state(state);
+  last_round_ = static_cast<Round>(state.at("last_round").as_int());
+}
+
 void SteeredMechanism::update_rewards(const model::World& world, Round k) {
   rewards_.assign(world.num_tasks(), 0.0);
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {

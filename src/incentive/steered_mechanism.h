@@ -37,6 +37,11 @@ class SteeredMechanism : public IncentiveMechanism {
   void reprice(const model::World& world, Round k,
                const std::vector<std::size_t>& dirty_tasks) override;
 
+  /// Checkpoint state: only last_round_ beyond the base rewards — the
+  /// schedule itself is a pure function of each task's received count.
+  Json state_to_json() const override;
+  void restore_state(const Json& state) override;
+
   /// Quality model Q(x) and its expected improvement dQ(x).
   double quality(int measurements) const;
   double quality_gain(int measurements) const;

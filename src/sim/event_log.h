@@ -46,6 +46,13 @@ class EventLog {
   /// corrupted).
   void write_csv(std::ostream& out) const;
 
+  /// Replace the trace with a checkpointed one (resume path). Keeps the
+  /// enabled flag: a disabled log stays empty and a restored-then-resumed
+  /// campaign appends to the restored prefix exactly where it left off.
+  void restore(std::vector<SensingEvent> events) {
+    events_ = std::move(events);
+  }
+
  private:
   bool enabled_;
   std::vector<SensingEvent> events_;

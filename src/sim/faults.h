@@ -55,6 +55,12 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
   bool enabled() const { return plan_.any(); }
 
+  /// The campaign seed the injector was built with. Together with plan()
+  /// this is the injector's *entire* state — every draw is a pure hash, so a
+  /// checkpoint records (plan, campaign_seed) and reconstruction replays
+  /// identically with no stream position to save.
+  std::uint64_t campaign_seed() const { return seed_; }
+
   /// Worker `user` is offline for the whole of round `k` (no session, no
   /// selection, no travel).
   bool drop_user(UserId user, Round k) const;

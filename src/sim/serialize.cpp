@@ -1,5 +1,7 @@
 #include "sim/serialize.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -20,6 +22,8 @@ Json scenario_to_json(const ScenarioParams& p) {
   o["cost_per_meter"] = Json(p.cost_per_meter);
   o["user_budget_min_s"] = Json(p.user_budget_min_s);
   o["user_budget_max_s"] = Json(p.user_budget_max_s);
+  o["user_budget_quantum_s"] = Json(p.user_budget_quantum_s);
+  o["home_sites"] = Json(p.home_sites);
   o["neighbor_radius"] = Json(p.neighbor_radius);
   return Json(std::move(o));
 }
@@ -45,6 +49,10 @@ ScenarioParams scenario_from_json(const Json& json) {
       p.user_budget_min_s = value.as_number();
     else if (key == "user_budget_max_s")
       p.user_budget_max_s = value.as_number();
+    else if (key == "user_budget_quantum_s")
+      p.user_budget_quantum_s = value.as_number();
+    else if (key == "home_sites")
+      p.home_sites = static_cast<int>(value.as_int());
     else if (key == "neighbor_radius") p.neighbor_radius = value.as_number();
     else
       throw Error("unknown scenario key: " + key);
@@ -54,8 +62,14 @@ ScenarioParams scenario_from_json(const Json& json) {
 }
 
 ScenarioParams load_scenario(const std::string& path) {
+  errno = 0;
   std::ifstream in(path);
-  MCS_CHECK(in.good(), "cannot open scenario file: " + path);
+  if (!in.good()) {
+    // ifstream swallows the reason; errno still has it on POSIX.
+    const int err = errno;
+    std::string detail = err != 0 ? std::strerror(err) : "stream not readable";
+    throw Error("cannot open scenario file '" + path + "': " + detail);
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return scenario_from_json(Json::parse(buffer.str()));
@@ -70,11 +84,20 @@ Json point_to_json(geo::Point p) {
   return Json(std::move(o));
 }
 
+geo::Point point_from_json(const Json& j) {
+  return geo::Point{j.at("x").as_number(), j.at("y").as_number()};
+}
+
 }  // namespace
 
 Json world_to_json(const model::World& world) {
   Json::Object o;
+  // area_side (the square width) predates the full corner export and is
+  // kept for downstream plotting scripts; area_lo/area_hi carry the exact
+  // box so non-square/offset areas round-trip too.
   o["area_side"] = Json(world.area().width());
+  o["area_lo"] = point_to_json(world.area().lo);
+  o["area_hi"] = point_to_json(world.area().hi);
   o["neighbor_radius"] = Json(world.neighbor_radius());
   Json::Object travel;
   travel["speed_mps"] = Json(world.travel().speed_mps);
@@ -109,6 +132,7 @@ Json world_to_json(const model::World& world) {
     Json::Object ju;
     ju["id"] = Json(u.id());
     ju["home"] = point_to_json(u.home());
+    ju["location"] = point_to_json(u.location());
     ju["time_budget_s"] = Json(u.time_budget());
     ju["tasks_contributed"] = Json(static_cast<long long>(u.tasks_contributed()));
     ju["total_reward"] = Json(u.total_reward());
@@ -117,6 +141,79 @@ Json world_to_json(const model::World& world) {
   }
   o["users"] = std::move(users);
   return Json(std::move(o));
+}
+
+model::World world_from_json(const Json& json) {
+  geo::BoundingBox area;
+  if (json.has("area_lo") && json.has("area_hi")) {
+    area = geo::BoundingBox(point_from_json(json.at("area_lo")),
+                            point_from_json(json.at("area_hi")));
+  } else {
+    // Pre-durability snapshots recorded only the square side.
+    area = geo::BoundingBox::square(json.at("area_side").as_number());
+  }
+  const Json& jtravel = json.at("travel");
+  geo::TravelModel travel;
+  travel.speed_mps = jtravel.at("speed_mps").as_number();
+  travel.cost_per_meter = jtravel.at("cost_per_meter").as_number();
+  model::World world(area, travel, json.at("neighbor_radius").as_number());
+
+  // Tasks are rebuilt standalone and pushed through the mutable accessor —
+  // add_task would renumber them densely, and snapshots may carry sparse
+  // ids (externally keyed deployments; see the PR 4-5 regressions).
+  for (const Json& jt : json.at("tasks").as_array()) {
+    model::Task t(static_cast<TaskId>(jt.at("id").as_int()),
+                  point_from_json(jt.at("location")),
+                  static_cast<Round>(jt.at("deadline").as_int()),
+                  static_cast<int>(jt.at("required").as_int()));
+    for (const Json& jm : jt.at("measurements").as_array()) {
+      t.add_measurement(static_cast<UserId>(jm.at("user").as_int()),
+                        static_cast<Round>(jm.at("round").as_int()),
+                        jm.at("reward").as_number());
+    }
+    // The replay recomputed every derived count; the snapshot carries its
+    // own copies, so disagreement means the file lies about itself.
+    MCS_CHECK(t.received() == static_cast<int>(jt.at("received").as_int()),
+              "world snapshot: task received count does not match its "
+              "measurement list");
+    MCS_CHECK(t.completed() == jt.at("completed").as_bool(),
+              "world snapshot: task completed flag does not match its "
+              "measurement list");
+    MCS_CHECK(t.total_paid() == jt.at("total_paid").as_number(),
+              "world snapshot: task total_paid does not match its "
+              "measurement list");
+    world.tasks().push_back(std::move(t));
+  }
+
+  for (const Json& ju : json.at("users").as_array()) {
+    model::User u(static_cast<UserId>(ju.at("id").as_int()),
+                  point_from_json(ju.at("home")),
+                  ju.at("time_budget_s").as_number());
+    if (ju.has("location")) u.set_location(point_from_json(ju.at("location")));
+    // One shot restores the accumulated doubles verbatim (0 + x == x).
+    u.add_earnings(ju.at("total_reward").as_number(),
+                   ju.at("total_cost").as_number());
+    world.users().push_back(std::move(u));
+  }
+
+  // Users' contributed sets mirror the task measurement lists (the
+  // simulator calls mark_contributed in lockstep with add_measurement);
+  // rebuild them from the same source of truth. user() throws on a
+  // measurement referencing an unknown user id.
+  for (const model::Task& t : world.tasks()) {
+    for (const model::Measurement& m : t.measurements()) {
+      world.user(m.user).mark_contributed(t.id());
+    }
+  }
+  for (const Json& ju : json.at("users").as_array()) {
+    const model::User& u =
+        world.user(static_cast<UserId>(ju.at("id").as_int()));
+    MCS_CHECK(static_cast<long long>(u.tasks_contributed()) ==
+                  ju.at("tasks_contributed").as_int(),
+              "world snapshot: user contributed count does not match the "
+              "task measurement lists");
+  }
+  return world;
 }
 
 Json campaign_to_json(const CampaignMetrics& m) {
@@ -133,6 +230,16 @@ Json campaign_to_json(const CampaignMetrics& m) {
   o["reward_gini"] = Json(m.reward_gini);
   o["reward_jain"] = Json(m.reward_jain);
   o["active_user_fraction"] = Json(m.active_user_fraction);
+  o["dropped_user_rounds"] = Json(m.dropped_user_rounds);
+  o["abandoned_tours"] = Json(m.abandoned_tours);
+  o["lost_measurements"] = Json(m.lost_measurements);
+  o["corrupted_measurements"] = Json(m.corrupted_measurements);
+  o["withdrawn_task_rounds"] = Json(m.withdrawn_task_rounds);
+  o["wasted_travel"] = Json(m.wasted_travel);
+  o["plan_exact_hits"] = Json(m.plan_exact_hits);
+  o["plan_fixup_hits"] = Json(m.plan_fixup_hits);
+  o["plan_misses"] = Json(m.plan_misses);
+  o["plan_fallbacks"] = Json(m.plan_fallbacks);
   Json counts = Json::array();
   for (const int c : m.per_task_received) counts.push_back(Json(c));
   o["per_task_received"] = std::move(counts);
@@ -157,6 +264,9 @@ Json round_to_json(const RoundMetrics& m) {
   o["corrupted_measurements"] = Json(m.corrupted_measurements);
   o["withdrawn_tasks"] = Json(m.withdrawn_tasks);
   o["wasted_travel"] = Json(m.wasted_travel);
+  Json profits = Json::array();
+  for (const Money p : m.user_profit) profits.push_back(Json(p));
+  o["user_profit"] = std::move(profits);
   return Json(std::move(o));
 }
 
@@ -164,6 +274,40 @@ Json rounds_to_json(const std::vector<RoundMetrics>& history) {
   Json out = Json::array();
   for (const RoundMetrics& m : history) out.push_back(round_to_json(m));
   return out;
+}
+
+RoundMetrics round_from_json(const Json& json) {
+  RoundMetrics m;
+  m.round = static_cast<Round>(json.at("round").as_int());
+  m.new_measurements = static_cast<int>(json.at("new_measurements").as_int());
+  m.total_measurements = json.at("total_measurements").as_int();
+  m.coverage_pct = json.at("coverage_pct").as_number();
+  m.completeness_pct = json.at("completeness_pct").as_number();
+  m.payout = json.at("payout").as_number();
+  m.active_users = static_cast<int>(json.at("active_users").as_int());
+  for (const Json& p : json.at("user_profit").as_array()) {
+    m.user_profit.push_back(p.as_number());
+  }
+  m.mean_user_profit = json.at("mean_user_profit").as_number();
+  m.mean_open_reward = json.at("mean_open_reward").as_number();
+  m.open_tasks = static_cast<int>(json.at("open_tasks").as_int());
+  m.dropped_users = static_cast<int>(json.at("dropped_users").as_int());
+  m.abandoned_tours = static_cast<int>(json.at("abandoned_tours").as_int());
+  m.lost_measurements =
+      static_cast<int>(json.at("lost_measurements").as_int());
+  m.corrupted_measurements =
+      static_cast<int>(json.at("corrupted_measurements").as_int());
+  m.withdrawn_tasks = static_cast<int>(json.at("withdrawn_tasks").as_int());
+  m.wasted_travel = json.at("wasted_travel").as_number();
+  return m;
+}
+
+std::vector<RoundMetrics> rounds_from_json(const Json& json) {
+  std::vector<RoundMetrics> history;
+  for (const Json& m : json.as_array()) {
+    history.push_back(round_from_json(m));
+  }
+  return history;
 }
 
 Json events_to_json(const EventLog& log) {
@@ -180,6 +324,22 @@ Json events_to_json(const EventLog& log) {
     out.push_back(Json(std::move(o)));
   }
   return out;
+}
+
+std::vector<SensingEvent> events_from_json(const Json& json) {
+  std::vector<SensingEvent> events;
+  for (const Json& je : json.as_array()) {
+    SensingEvent e;
+    e.round = static_cast<Round>(je.at("round").as_int());
+    e.user = static_cast<UserId>(je.at("user").as_int());
+    e.task = static_cast<TaskId>(je.at("task").as_int());
+    e.reward = je.at("reward").as_number();
+    e.leg_distance = je.at("leg_distance").as_number();
+    e.accepted = je.at("accepted").as_bool();
+    e.corrupted = je.at("corrupted").as_bool();
+    events.push_back(e);
+  }
+  return events;
 }
 
 }  // namespace mcs::sim

@@ -2,8 +2,10 @@
 //
 // Purpose: (a) scenario configs as versionable files, (b) machine-readable
 // result dumps for external plotting/analysis, (c) world snapshots for
-// debugging a specific campaign. Scenario round-trips (to_json ∘ from_json
-// = identity); worlds and metrics are export-only.
+// debugging a specific campaign, (d) campaign checkpoints (sim/checkpoint.h).
+// Scenarios, worlds, round histories and event traces all round-trip
+// (to_json ∘ from_json = identity, doubles bit-exact via %.17g); campaign
+// summaries stay export-only (they are recomputed from the world).
 #pragma once
 
 #include <string>
@@ -26,12 +28,26 @@ ScenarioParams scenario_from_json(const Json& json);
 ScenarioParams load_scenario(const std::string& path);
 
 /// Full world snapshot: area, travel model, tasks (with progress and
-/// contributor lists), users (with earnings).
+/// contributor lists), users (with locations and earnings).
 Json world_to_json(const model::World& world);
+
+/// Rebuild a World from a world_to_json snapshot. Sparse/non-dense task and
+/// user ids are preserved verbatim. Measurements are replayed through
+/// Task::add_measurement in recorded order and users' contributed sets are
+/// rebuilt from them, so every derived count (received, completed,
+/// total_paid, tasks_contributed) is recomputed — and then verified against
+/// the snapshot's own copies, turning silent corruption into mcs::Error.
+/// The restored world is bit-identical to the exported one: resuming a
+/// campaign from it produces the same doubles the original would.
+model::World world_from_json(const Json& json);
 
 Json campaign_to_json(const CampaignMetrics& metrics);
 Json round_to_json(const RoundMetrics& metrics);
 Json rounds_to_json(const std::vector<RoundMetrics>& history);
 Json events_to_json(const EventLog& log);
+
+RoundMetrics round_from_json(const Json& json);
+std::vector<RoundMetrics> rounds_from_json(const Json& json);
+std::vector<SensingEvent> events_from_json(const Json& json);
 
 }  // namespace mcs::sim

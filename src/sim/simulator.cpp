@@ -8,6 +8,8 @@
 #include "common/stats.h"
 #include "geo/distance.h"
 #include "select/candidate_pool.h"
+#include "sim/checkpoint.h"
+#include "sim/serialize.h"
 
 namespace mcs::sim {
 
@@ -507,6 +509,64 @@ CampaignMetrics Simulator::summary() const {
   m.plan_misses = memo.misses;
   m.plan_fallbacks = memo.fallbacks;
   return m;
+}
+
+CampaignCheckpoint Simulator::checkpoint() const {
+  CampaignCheckpoint c;
+  c.params = params_;
+  c.next_round = next_round_;
+  c.world = world_to_json(world_);
+  c.mobility_rng = mobility_rng_.state();
+  c.mechanism = mechanism_->name();
+  c.mechanism_state = mechanism_->state_to_json();
+  c.selector = selector_->name();
+  c.mobility = mobility_->name();
+  c.budget_spent = budget_.spent_raw();
+  c.budget_comp = budget_.compensation();
+  c.history = history_;
+  c.events = events_.events();
+  c.memo_stats = plan_memo_.stats();
+  return c;
+}
+
+Simulator Simulator::resume(
+    const CampaignCheckpoint& ckpt,
+    std::unique_ptr<incentive::IncentiveMechanism> mechanism,
+    std::unique_ptr<select::TaskSelector> selector,
+    std::unique_ptr<MobilityModel> mobility) {
+  MCS_CHECK(ckpt.version == kCheckpointFormatVersion,
+            "unsupported checkpoint format version");
+  MCS_CHECK(mechanism != nullptr, "resume needs a mechanism");
+  MCS_CHECK(selector != nullptr, "resume needs a selector");
+  MCS_CHECK(ckpt.mechanism == mechanism->name(),
+            "checkpoint was written by mechanism '" + ckpt.mechanism +
+                "', not '" + mechanism->name() + "'");
+  MCS_CHECK(ckpt.selector.empty() || ckpt.selector == selector->name(),
+            "checkpoint was written with selector '" + ckpt.selector +
+                "', not '" + selector->name() + "'");
+  // Overlay the serialized pricing state before the first update: a
+  // resumed round-granularity mechanism starts the next round exactly
+  // where the original's last publish left it.
+  mechanism->restore_state(ckpt.mechanism_state);
+
+  Simulator s(world_from_json(ckpt.world), std::move(mechanism),
+              std::move(selector), ckpt.params, std::move(mobility));
+  MCS_CHECK(ckpt.mobility.empty() || ckpt.mobility == s.mobility_->name(),
+            "checkpoint was written with mobility '" + ckpt.mobility +
+                "', not '" + std::string(s.mobility_->name()) + "'");
+  MCS_CHECK(ckpt.next_round >= 1 &&
+                ckpt.next_round <= ckpt.params.max_rounds + 1,
+            "checkpoint round cursor out of range");
+  MCS_CHECK(ckpt.history.size() ==
+                static_cast<std::size_t>(ckpt.next_round - 1),
+            "checkpoint history length does not match its round cursor");
+  s.mobility_rng_.restore_state(ckpt.mobility_rng);
+  s.budget_.restore(ckpt.budget_spent, ckpt.budget_comp);
+  s.events_.restore(ckpt.events);
+  s.history_ = ckpt.history;
+  s.next_round_ = ckpt.next_round;
+  s.plan_memo_.restore_stats(ckpt.memo_stats);
+  return s;
 }
 
 }  // namespace mcs::sim

@@ -28,6 +28,8 @@
 
 namespace mcs::sim {
 
+struct CampaignCheckpoint;  // sim/checkpoint.h
+
 struct SimulatorParams {
   Round max_rounds = 15;
   Money platform_budget = 1000.0;  // B
@@ -101,6 +103,30 @@ class Simulator {
 
   /// Summary of the current state (usable mid-campaign too).
   CampaignMetrics summary() const;
+
+  /// Snapshot the complete resumable campaign state (sim/checkpoint.h).
+  /// Only meaningful at a round boundary — between step() calls — which is
+  /// the only time this class can be observed from outside anyway. The
+  /// returned checkpoint's `scenario` is left null; callers that generated
+  /// the world from a ScenarioParams attach it for provenance.
+  CampaignCheckpoint checkpoint() const;
+
+  /// Rebuild a simulator from a checkpoint so that every subsequent
+  /// step()/run() is bit-identical to the uninterrupted campaign. The
+  /// caller supplies a mechanism/selector/mobility constructed with the
+  /// same parameters as the original (the experiment config owns those);
+  /// their names are validated against the checkpoint, then the
+  /// mechanism's serialized state is overlaid via restore_state(). Throws
+  /// mcs::Error on version, name, round-cursor or history mismatches.
+  static Simulator resume(const CampaignCheckpoint& ckpt,
+                          std::unique_ptr<incentive::IncentiveMechanism> mechanism,
+                          std::unique_ptr<select::TaskSelector> selector,
+                          std::unique_ptr<MobilityModel> mobility = nullptr);
+
+  /// The mobility draw stream's full state (the simulator's only sequential
+  /// RNG; fault draws are stateless hashes and the per-round visit shuffle
+  /// re-derives its generator from order_seed and the round number).
+  Rng::State mobility_rng_state() const { return mobility_rng_.state(); }
 
   /// Publish rewards for the upcoming round exactly as step() would and
   /// return the selection instance each user (indexed by id) would face —

@@ -1,0 +1,246 @@
+// The keystone durability contract: a campaign that is checkpointed every k
+// rounds, torn down completely (simulator destroyed, checkpoint serialized
+// to envelope bytes and decoded back) and resumed, is bit-identical to the
+// uninterrupted run — across every mechanism kind, with and without
+// injected campaign faults, at any plan-thread count and with the plan memo
+// on or off. This is what makes crash recovery in the runner safe: a
+// resumed repetition contributes exactly the doubles the original would
+// have.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "incentive/mechanism.h"
+#include "model/world.h"
+#include "select/selector.h"
+#include "sim/checkpoint.h"
+#include "sim/scenario.h"
+#include "sim/serialize.h"
+#include "sim/simulator.h"
+
+namespace mcs::sim {
+namespace {
+
+FaultPlan stress_faults() {
+  FaultPlan f;
+  f.dropout_prob = 0.15;
+  f.abandon_prob = 0.2;
+  f.upload_loss_prob = 0.1;
+  f.seed = 7;
+  return f;
+}
+
+ScenarioParams scenario() {
+  ScenarioParams p;
+  p.num_users = 30;
+  p.num_tasks = 12;
+  p.required_measurements = 6;
+  return p;
+}
+
+/// Deterministic replay of the construction-time draws (exactly what the
+/// experiment runner does on resume): world generation consumes the stream,
+/// the mechanism splits from the post-generation state, so fixed's random
+/// level draws come out identical every time.
+std::unique_ptr<incentive::IncentiveMechanism> fresh_mechanism(
+    incentive::MechanismKind kind) {
+  Rng rng(4242);
+  model::World world = generate_world(scenario(), rng);
+  Rng mech_rng = rng.split(0xfeed);
+  return incentive::make_mechanism(kind, world, {}, mech_rng);
+}
+
+SimulatorParams make_params(bool faults, int plan_threads, bool memo) {
+  SimulatorParams sp;
+  sp.max_rounds = 8;
+  sp.record_events = true;
+  sp.plan_threads = plan_threads;
+  sp.memo.enabled = memo;
+  if (faults) sp.faults = stress_faults();
+  return sp;
+}
+
+Simulator make_simulator(incentive::MechanismKind kind, bool faults,
+                         int plan_threads, bool memo) {
+  Rng rng(4242);
+  model::World world = generate_world(scenario(), rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mechanism = incentive::make_mechanism(kind, world, {}, mech_rng);
+  auto selector = select::make_selector(select::SelectorKind::kDp, 14);
+  return Simulator(std::move(world), std::move(mechanism),
+                   std::move(selector), make_params(faults, plan_threads, memo));
+}
+
+struct CampaignRun {
+  std::vector<RoundMetrics> rounds;
+  Money spent = 0.0;
+  std::string world_json;
+  std::string events_json;
+  select::PlanMemoStats memo_stats;
+};
+
+CampaignRun finish(const Simulator& s) {
+  CampaignRun out;
+  out.rounds = s.history();
+  out.spent = s.budget().spent();
+  out.world_json = world_to_json(s.world()).dump(2);
+  out.events_json = events_to_json(s.events()).dump(2);
+  out.memo_stats = s.plan_memo_stats();
+  return out;
+}
+
+CampaignRun run_straight(incentive::MechanismKind kind, bool faults,
+                         int plan_threads, bool memo) {
+  Simulator s = make_simulator(kind, faults, plan_threads, memo);
+  s.run();
+  return finish(s);
+}
+
+/// The hostile version: every `every` rounds the simulator is checkpointed
+/// THROUGH THE ENVELOPE BYTES, destroyed, and a brand-new one resumed from
+/// the decoded checkpoint with freshly constructed mechanism/selector.
+CampaignRun run_with_resume(incentive::MechanismKind kind, bool faults,
+                            int plan_threads, bool memo, Round every) {
+  std::optional<Simulator> s(make_simulator(kind, faults, plan_threads, memo));
+  const Round max_rounds = 8;
+  while (s->current_round() < max_rounds && !s->all_tasks_closed()) {
+    s->step();
+    const Round done = s->current_round();
+    if (done % every == 0 && done < max_rounds) {
+      const std::string bytes = encode_checkpoint(s->checkpoint());
+      s.reset();  // the original campaign is gone, bytes are all that's left
+      const CampaignCheckpoint back = decode_checkpoint(bytes);
+      s.emplace(Simulator::resume(
+          back, fresh_mechanism(kind),
+          select::make_selector(select::SelectorKind::kDp, 14)));
+    }
+  }
+  return finish(*s);
+}
+
+void expect_bit_identical(const CampaignRun& a, const CampaignRun& b) {
+  EXPECT_EQ(a.world_json, b.world_json);
+  EXPECT_EQ(a.events_json, b.events_json);
+  EXPECT_EQ(a.spent, b.spent);
+  EXPECT_EQ(a.memo_stats.exact_hits, b.memo_stats.exact_hits);
+  EXPECT_EQ(a.memo_stats.fixup_hits, b.memo_stats.fixup_hits);
+  EXPECT_EQ(a.memo_stats.misses, b.memo_stats.misses);
+  EXPECT_EQ(a.memo_stats.fallbacks, b.memo_stats.fallbacks);
+  EXPECT_EQ(a.memo_stats.rounds, b.memo_stats.rounds);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t k = 0; k < a.rounds.size(); ++k) {
+    EXPECT_EQ(rounds_to_json({a.rounds[k]}).dump(),
+              rounds_to_json({b.rounds[k]}).dump())
+        << "round " << k;
+  }
+}
+
+// The full equivalence matrix: {fixed, on-demand, steered} x {clean,
+// faulted} x plan_threads {1, 8} x memo {on, off}, checkpoint every 2
+// rounds with teardown-and-resume at each one.
+TEST(CheckpointResume, ResumedCampaignsBitIdenticalAcrossTheMatrix) {
+  for (const auto kind :
+       {incentive::MechanismKind::kFixed, incentive::MechanismKind::kOnDemand,
+        incentive::MechanismKind::kSteered}) {
+    for (const bool faults : {false, true}) {
+      for (const int plan_threads : {1, 8}) {
+        for (const bool memo : {false, true}) {
+          SCOPED_TRACE(std::string(incentive::mechanism_name(kind)) +
+                       (faults ? "/faults" : "/clean") + "/threads=" +
+                       std::to_string(plan_threads) +
+                       (memo ? "/memo" : "/nomemo"));
+          const CampaignRun straight =
+              run_straight(kind, faults, plan_threads, memo);
+          const CampaignRun resumed =
+              run_with_resume(kind, faults, plan_threads, memo, /*every=*/2);
+          expect_bit_identical(straight, resumed);
+        }
+      }
+    }
+  }
+}
+
+// Resuming every single round is the worst case for drift (7 teardowns in
+// an 8-round campaign) and must still be exact.
+TEST(CheckpointResume, ResumeEveryRoundStillBitIdentical) {
+  const auto kind = incentive::MechanismKind::kOnDemand;
+  const CampaignRun straight = run_straight(kind, true, 1, false);
+  const CampaignRun resumed = run_with_resume(kind, true, 1, false, 1);
+  expect_bit_identical(straight, resumed);
+}
+
+// Cross-knob resume: a campaign checkpointed under plan_threads=1 resumed
+// into a plan_threads=8 simulator (the checkpoint pins the knobs — params
+// travel in the envelope, so the resumed run keeps the original's).
+TEST(CheckpointResume, CheckpointCarriesItsOwnSimulatorParams) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, true, 1,
+                               false);
+  s.step();
+  s.step();
+  const CampaignCheckpoint ckpt = s.checkpoint();
+  EXPECT_EQ(ckpt.params.plan_threads, 1);
+  EXPECT_EQ(ckpt.params.max_rounds, 8);
+  EXPECT_TRUE(ckpt.params.record_events);
+  EXPECT_EQ(ckpt.next_round, 3);
+  EXPECT_EQ(ckpt.history.size(), 2u);
+}
+
+TEST(CheckpointResume, MechanismNameMismatchRejected) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
+                               false);
+  s.step();
+  const CampaignCheckpoint ckpt = s.checkpoint();
+  EXPECT_THROW(
+      Simulator::resume(ckpt,
+                        fresh_mechanism(incentive::MechanismKind::kFixed),
+                        select::make_selector(select::SelectorKind::kDp, 14)),
+      Error);
+}
+
+TEST(CheckpointResume, SelectorNameMismatchRejected) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
+                               false);
+  s.step();
+  const CampaignCheckpoint ckpt = s.checkpoint();
+  EXPECT_THROW(
+      Simulator::resume(
+          ckpt, fresh_mechanism(incentive::MechanismKind::kOnDemand),
+          select::make_selector(select::SelectorKind::kGreedy, 14)),
+      Error);
+}
+
+TEST(CheckpointResume, VersionSkewRejected) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
+                               false);
+  s.step();
+  CampaignCheckpoint ckpt = s.checkpoint();
+  ckpt.version = kCheckpointFormatVersion + 1;
+  EXPECT_THROW(
+      Simulator::resume(ckpt,
+                        fresh_mechanism(incentive::MechanismKind::kOnDemand),
+                        select::make_selector(select::SelectorKind::kDp, 14)),
+      Error);
+}
+
+TEST(CheckpointResume, HistoryCursorMismatchRejected) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
+                               false);
+  s.step();
+  s.step();
+  CampaignCheckpoint ckpt = s.checkpoint();
+  ckpt.history.pop_back();  // silent loss of a round must not resume
+  EXPECT_THROW(
+      Simulator::resume(ckpt,
+                        fresh_mechanism(incentive::MechanismKind::kOnDemand),
+                        select::make_selector(select::SelectorKind::kDp, 14)),
+      Error);
+}
+
+}  // namespace
+}  // namespace mcs::sim

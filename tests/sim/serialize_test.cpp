@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "sim/scenario.h"
 
 namespace mcs::sim {
 namespace {
@@ -26,6 +30,9 @@ TEST(SerializeScenario, RoundTripIsIdentity) {
   p.user_budget_max_s = 480.0;
   p.neighbor_radius = 321.0;
 
+  p.user_budget_quantum_s = 30.0;
+  p.home_sites = 4;
+
   const ScenarioParams q = scenario_from_json(scenario_to_json(p));
   EXPECT_DOUBLE_EQ(q.area_side, p.area_side);
   EXPECT_EQ(q.num_tasks, p.num_tasks);
@@ -39,6 +46,8 @@ TEST(SerializeScenario, RoundTripIsIdentity) {
   EXPECT_DOUBLE_EQ(q.user_budget_min_s, p.user_budget_min_s);
   EXPECT_DOUBLE_EQ(q.user_budget_max_s, p.user_budget_max_s);
   EXPECT_DOUBLE_EQ(q.neighbor_radius, p.neighbor_radius);
+  EXPECT_DOUBLE_EQ(q.user_budget_quantum_s, p.user_budget_quantum_s);
+  EXPECT_EQ(q.home_sites, p.home_sites);
 }
 
 TEST(SerializeScenario, MissingKeysUseDefaults) {
@@ -96,6 +105,166 @@ TEST(SerializeWorld, SnapshotStructure) {
   EXPECT_EQ(u.at("tasks_contributed").as_int(), 1);
   // The dump parses back to an equal document.
   EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(SerializeScenario, LoadErrorNamesPathAndErrno) {
+  const std::string path = ::testing::TempDir() + "/mcs_no_such_scenario.json";
+  try {
+    load_scenario(path);
+    FAIL() << "missing file must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("No such file"), std::string::npos) << msg;
+  }
+}
+
+TEST(SerializeScenario, LoadErrorOnUnreadableFile) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores file permissions";
+  }
+  const std::string path = ::testing::TempDir() + "/mcs_unreadable.json";
+  {
+    std::ofstream out(path);
+    out << "{}";
+  }
+  ::chmod(path.c_str(), 0000);
+  try {
+    load_scenario(path);
+    FAIL() << "unreadable file must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Permission denied"), std::string::npos) << msg;
+  }
+  ::chmod(path.c_str(), 0644);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeWorld, RoundTripIsIdentity) {
+  ScenarioParams p;
+  p.num_users = 25;
+  p.num_tasks = 9;
+  Rng rng(31337);
+  model::World w = generate_world(p, rng);
+  // Mutate some state so progress/earnings round-trip too.
+  w.task(0).add_measurement(3, 1, 1.25);
+  w.task(0).add_measurement(4, 1, 1.25);
+  w.user(3).add_earnings(1.25, 0.4);
+  w.user(3).mark_contributed(0);
+  w.user(4).add_earnings(1.25, 0.6);
+  w.user(4).mark_contributed(0);
+
+  const Json j = world_to_json(w);
+  const model::World back = world_from_json(j);
+  // Byte-for-byte equal snapshots: every double survived %.17g.
+  EXPECT_EQ(world_to_json(back).dump(2), j.dump(2));
+  EXPECT_EQ(back.num_tasks(), w.num_tasks());
+  EXPECT_EQ(back.num_users(), w.num_users());
+  EXPECT_EQ(back.task(0).received(), 2);
+  EXPECT_TRUE(back.user(3).has_contributed(0));
+  EXPECT_DOUBLE_EQ(back.user(3).total_profit(), w.user(3).total_profit());
+}
+
+// Worlds assembled through the mutable accessors may carry arbitrary ids
+// (tasks {10, 20, 31}, users {70, 10, 55}); the round trip must preserve
+// them verbatim instead of renumbering densely.
+TEST(SerializeWorld, SparseIdsSurviveTheRoundTrip) {
+  model::World w(geo::BoundingBox::square(1000.0), geo::TravelModel{}, 200.0);
+  w.tasks().push_back(model::Task(10, {100.0, 100.0}, 5, 3));
+  w.tasks().push_back(model::Task(20, {500.0, 500.0}, 6, 2));
+  w.tasks().push_back(model::Task(31, {900.0, 900.0}, 7, 4));
+  w.users().emplace_back(UserId{70}, geo::Point{120.0, 120.0}, 600.0);
+  w.users().emplace_back(UserId{10}, geo::Point{880.0, 880.0}, 600.0);
+  w.users().emplace_back(UserId{55}, geo::Point{500.0, 500.0}, 600.0);
+  for (model::User& u : w.users()) u.return_home();
+  w.tasks()[0].add_measurement(70, 2, 0.75);
+  w.users()[0].add_earnings(0.75, 0.1);
+  w.users()[0].mark_contributed(10);
+
+  const Json j = world_to_json(w);
+  const model::World back = world_from_json(j);
+  ASSERT_EQ(back.tasks().size(), 3u);
+  EXPECT_EQ(back.tasks()[0].id(), 10);
+  EXPECT_EQ(back.tasks()[1].id(), 20);
+  EXPECT_EQ(back.tasks()[2].id(), 31);
+  ASSERT_EQ(back.users().size(), 3u);
+  EXPECT_EQ(back.users()[0].id(), 70);
+  EXPECT_EQ(back.users()[1].id(), 10);
+  EXPECT_EQ(back.users()[2].id(), 55);
+  EXPECT_TRUE(back.users()[0].has_contributed(10));
+  EXPECT_EQ(back.users()[0].tasks_contributed(), 1u);
+  EXPECT_EQ(back.tasks()[0].received(), 1);
+  EXPECT_EQ(world_to_json(back).dump(2), j.dump(2));
+}
+
+// The snapshot carries derived counts (received, total_paid, contributor
+// sets) alongside the raw measurement list; a snapshot whose copies
+// disagree with its own measurements is corrupt and must be rejected, not
+// silently "fixed".
+TEST(SerializeWorld, TamperedDerivedStateRejected) {
+  model::World w(geo::BoundingBox::square(100.0), geo::TravelModel{}, 25.0);
+  w.add_task({10, 20}, 5, 3);
+  w.add_user({1, 2}, 300.0);
+  w.task(0).add_measurement(0, 1, 1.5);
+  w.user(0).add_earnings(1.5, 0.2);
+  w.user(0).mark_contributed(0);
+  const Json good = world_to_json(w);
+  ASSERT_NO_THROW(world_from_json(good));
+
+  const std::string dump = good.dump(2);
+  auto tampered = [&dump](const std::string& from, const std::string& to) {
+    std::string s = dump;
+    const std::size_t at = s.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    s.replace(at, from.size(), to);
+    return Json::parse(s);
+  };
+  EXPECT_THROW(world_from_json(tampered("\"received\": 1", "\"received\": 2")),
+               Error);
+  EXPECT_THROW(world_from_json(tampered("\"total_paid\": 1.5",
+                                        "\"total_paid\": 2.5")),
+               Error);
+  EXPECT_THROW(
+      world_from_json(tampered("\"tasks_contributed\": 1",
+                               "\"tasks_contributed\": 0")),
+      Error);
+}
+
+TEST(SerializeMetrics, RoundMetricsRoundTripIsIdentity) {
+  RoundMetrics rm;
+  rm.round = 4;
+  rm.new_measurements = 9;
+  rm.active_users = 17;
+  rm.open_tasks = 3;
+  rm.coverage_pct = 81.25;
+  rm.completeness_pct = 64.5;
+  rm.payout = 12.75;
+  rm.mean_open_reward = 1.4375;
+  rm.mean_user_profit = 0.3125;
+  rm.dropped_users = 2;
+  rm.abandoned_tours = 1;
+  rm.lost_measurements = 3;
+  rm.corrupted_measurements = 1;
+  rm.withdrawn_tasks = 2;
+  rm.wasted_travel = 123.5;
+  rm.user_profit = {0.5, -0.25, 1.75};
+  const std::vector<RoundMetrics> back = rounds_from_json(rounds_to_json({rm}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(rounds_to_json(back).dump(2), rounds_to_json({rm}).dump(2));
+  EXPECT_EQ(back[0].user_profit, rm.user_profit);
+}
+
+TEST(SerializeEvents, RoundTripIsIdentity) {
+  EventLog log(true);
+  log.record({2, 5, 1, 0.75, 33.0});
+  log.record({3, 1, 0, 1.5, 12.25});
+  const Json j = events_to_json(log);
+  const std::vector<SensingEvent> back = events_from_json(j);
+  ASSERT_EQ(back.size(), 2u);
+  EventLog relogged(true);
+  relogged.restore(back);
+  EXPECT_EQ(events_to_json(relogged).dump(2), j.dump(2));
 }
 
 TEST(SerializeMetrics, CampaignAndRounds) {
