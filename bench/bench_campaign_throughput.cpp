@@ -18,9 +18,14 @@
 // BM_Campaign is pure scheduling overhead vs. speedup.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 
 #include "exp/runner.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace {
 
@@ -124,6 +129,64 @@ void BM_CampaignMemo(benchmark::State& state) {
   state.counters["hit_rate"] = hit_rate;
 }
 
+// Process-wide peak resident set in MB (getrusage ru_maxrss; kilobytes on
+// Linux). A high-water mark, so it only ever grows across benchmarks — the
+// meaningful reading is from the large-world runs, which dwarf everything
+// before them.
+double max_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0.0;
+}
+
+// Large-world campaigns through the spatially sharded round loop: ONE
+// campaign per iteration at range(0) users (tasks and area scale with the
+// population, keeping ~50 tasks in reach per user), shards = range(1)
+// (0 = the legacy round loop). The campaign is bit-identical across shard
+// counts (pinned by ShardEquivalence), so the series is pure round-loop
+// scaling. Greedy selector: at this scale the per-user solve should be
+// cheap so the round *loop* — pre-pass, demand, candidate gather, commit —
+// is what's measured. Phase timers are on; the per-phase wall-clock totals
+// and the process peak RSS ride along as counters. This is the
+// results/BENCH_campaign.json large-world artifact.
+void BM_CampaignSharded(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  exp::ExperimentConfig cfg;
+  cfg.selector = select::SelectorKind::kGreedy;
+  cfg.scenario.num_users = users;
+  cfg.scenario.num_tasks = users / 10;
+  // Density-preserving area: 100k users on a 30 km side, 1M on ~95 km.
+  cfg.scenario.area_side = 30000.0 * std::sqrt(users / 100000.0);
+  // Budget-per-measurement held constant (Eq. 9: r0 = B/sum(phi) -
+  // lambda(N-1) = 1.0), so repricing behaves the same at every scale.
+  cfg.mech_params.platform_budget =
+      3.0 * 20.0 * static_cast<double>(cfg.scenario.num_tasks);
+  cfg.max_rounds = 3;
+  cfg.shards = static_cast<int>(state.range(1));
+  cfg.phase_timers = true;
+  std::int64_t user_rounds = 0;
+  sim::CampaignMetrics last{};
+  for (auto _ : state) {
+    const exp::RepetitionResult rep = exp::run_repetition(cfg, 0xca3917a1ULL);
+    benchmark::DoNotOptimize(rep.campaign.total_paid);
+    user_rounds += static_cast<std::int64_t>(rep.rounds.size()) *
+                   cfg.scenario.num_users;
+    last = rep.campaign;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["user_rounds"] = benchmark::Counter(
+      static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
+  state.counters["phase_prepass_s"] = last.phase_prepass_s;
+  state.counters["phase_plan_s"] = last.phase_plan_s;
+  state.counters["phase_reprice_s"] = last.phase_reprice_s;
+  state.counters["phase_commit_s"] = last.phase_commit_s;
+  state.counters["max_rss_mb"] = max_rss_mb();
+}
+
 void BM_CampaignThreaded(benchmark::State& state, select::SelectorKind kind) {
   exp::ExperimentConfig cfg =
       make_config(kind, static_cast<int>(state.range(0)));
@@ -158,4 +221,18 @@ BENCHMARK(BM_CampaignPlanThreads)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CampaignMemo)
     ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+// Shard sweep at 100k users; the 1M-user / 100k-task configs are pinned to
+// a single iteration (one campaign is minutes of work — min_time-driven
+// repetition would make bench day unbounded).
+BENCHMARK(BM_CampaignSharded)
+    ->ArgsProduct({{100000}, {0, 1, 2, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+// 1M users / 100k tasks is sharded-only: the legacy loop's per-round
+// candidate pool is quadratic in open tasks (it is why the sharded loop
+// plans poolless per cell) and does not fit time or memory at this scale.
+BENCHMARK(BM_CampaignSharded)
+    ->ArgsProduct({{1000000}, {1, 8}})
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);

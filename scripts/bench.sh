@@ -21,7 +21,14 @@
 # the checked-in text bit for bit; the micro-benchmark .txt captures are
 # timing snapshots and will differ run to run.
 #
-# Usage: scripts/bench.sh [--skip-figures] [--skip-micro] [--min-time=<t>]
+# After regenerating BENCH_campaign.json, scripts/bench_gate.py compares the
+# fresh capture against the committed HEAD version of the same file and
+# fails the run when any gated campaign-throughput series lost more than 15%
+# — a regression has to be acknowledged (--skip-gate), never committed
+# silently.
+#
+# Usage: scripts/bench.sh [--skip-figures] [--skip-micro] [--skip-gate]
+#                         [--min-time=<t>]
 #   --min-time takes a google-benchmark duration in seconds as a plain
 #   double, e.g. 0.05 (default: the library's 0.5) and only affects the
 #   micro suites.
@@ -33,11 +40,13 @@ BUILD=build-release
 
 SKIP_FIGURES=0
 SKIP_MICRO=0
+SKIP_GATE=0
 MIN_TIME=""
 for arg in "$@"; do
   case "${arg}" in
     --skip-figures) SKIP_FIGURES=1 ;;
     --skip-micro) SKIP_MICRO=1 ;;
+    --skip-gate) SKIP_GATE=1 ;;
     --min-time=*) MIN_TIME="${arg#--min-time=}" ;;
     *) echo "bench: unknown argument ${arg}" >&2; exit 2 ;;
   esac
@@ -194,10 +203,32 @@ PY
   fi
   rm -f "${CAMPAIGN_TMP}"
 
+
   "./${BUILD}/bench/bench_incentive_micro" "${MICRO_ARGS[@]+"${MICRO_ARGS[@]}"}" \
     | tee results/bench_incentive_micro.txt
   "./${BUILD}/bench/bench_spatial_index" "${MICRO_ARGS[@]+"${MICRO_ARGS[@]}"}" \
     | tee results/bench_spatial_index.txt
+
+  # Throughput regression gate: fresh numbers vs the committed HEAD
+  # captures of the same files. Skipped per file when it has no committed
+  # version yet (first bench day); skipped entirely without python3.
+  if [[ "${SKIP_GATE}" == "1" ]]; then
+    echo "bench: skipping regression gate"
+  elif command -v python3 >/dev/null 2>&1; then
+    GATE_BASE="$(mktemp)"
+    if git show HEAD:results/BENCH_campaign.json > "${GATE_BASE}" 2>/dev/null; then
+      python3 scripts/bench_gate.py results/BENCH_campaign.json "${GATE_BASE}"
+    else
+      echo "bench: no committed BENCH_campaign.json baseline; gate skipped"
+    fi
+    if git show HEAD:results/BENCH_selector.json > "${GATE_BASE}" 2>/dev/null; then
+      python3 scripts/bench_gate.py results/BENCH_selector.json "${GATE_BASE}" \
+        --series='^BM_(DpSelector|GreedySelector|BranchBound)'
+    else
+      echo "bench: no committed BENCH_selector.json baseline; gate skipped"
+    fi
+    rm -f "${GATE_BASE}"
+  fi
 fi
 
 echo "bench: OK"

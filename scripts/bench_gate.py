@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly generated google-benchmark JSON capture against the
+committed baseline of the same file and fails (exit 1) when any pinned
+series regresses by more than the threshold. Wired into scripts/bench.sh so
+a bench-day regeneration that silently lost throughput fails loudly instead
+of being committed as the new normal.
+
+Usage:
+  bench_gate.py FRESH BASELINE [--threshold=0.15] [--series=REGEX]
+
+FRESH and BASELINE are either raw google-benchmark JSON files or the merged
+results/BENCH_*.json shape ({"current": <benchmark json>, ...}); BASELINE is
+typically materialized with `git show HEAD:results/BENCH_campaign.json`.
+
+For each benchmark name matched by --series and present in both captures,
+the gate compares `items_per_second` when the benchmark reports it (higher
+is better) and `cpu_time` otherwise (lower is better). The default series
+covers the campaign-throughput families whose numbers are quoted in
+EXPERIMENTS.md; single-iteration large-world runs (BM_CampaignSharded) are
+excluded by default because one sample has no noise floor to gate against.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    """Name -> benchmark dict, for raw or merged ("current") captures."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "current" in doc and isinstance(doc["current"], dict):
+        doc = doc["current"]
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument(
+        "--series",
+        default=r"^BM_Campaign(/|PlanThreads/|Memo/|Threaded)",
+        help="regex of benchmark names to gate (default: the campaign "
+             "throughput families)")
+    args = ap.parse_args()
+
+    fresh = load_benchmarks(args.fresh)
+    base = load_benchmarks(args.baseline)
+    series = re.compile(args.series)
+
+    checked = 0
+    failures = []
+    for name, fb in sorted(fresh.items()):
+        if not series.search(name) or name not in base:
+            continue
+        bb = base[name]
+        if "items_per_second" in fb and "items_per_second" in bb:
+            old, new = bb["items_per_second"], fb["items_per_second"]
+            if old <= 0.0:
+                continue
+            checked += 1
+            change = (new - old) / old  # negative = slower
+            label = "items/s"
+        else:
+            old, new = bb.get("cpu_time", 0.0), fb.get("cpu_time", 0.0)
+            if old <= 0.0 or new <= 0.0:
+                continue
+            checked += 1
+            change = (old - new) / old  # negative = slower
+            label = "cpu_time"
+        if change < -args.threshold:
+            failures.append(
+                f"  {name}: {label} {old:.4g} -> {new:.4g} "
+                f"({change * 100.0:+.1f}%)")
+
+    if checked == 0:
+        print("bench_gate: no overlapping gated series; nothing to check")
+        return 0
+    if failures:
+        print(f"bench_gate: {len(failures)} series regressed more than "
+              f"{args.threshold * 100.0:.0f}% vs baseline:")
+        print("\n".join(failures))
+        return 1
+    print(f"bench_gate: OK ({checked} series within "
+          f"{args.threshold * 100.0:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

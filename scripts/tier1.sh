@@ -65,8 +65,11 @@ else
   # PlanMemoEquivalence is the memo-equivalence stage: the memo's classify/
   # solve/publish phases share the table across the same plan workers, and
   # memoized campaigns must stay bit-identical (and race-free) under TSan.
+  # ShardEquivalence drives the spatially sharded round loop (parallel
+  # pre-pass + per-cell planning over the SoA stores) at shard counts 1-8
+  # and auto — the widest concurrent surface in the simulator.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|PlanMemoEquivalence|RepriceEquivalence'
+    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|PlanMemoEquivalence|RepriceEquivalence|ShardEquivalence'
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -100,8 +103,11 @@ else
   # BudgetTracker pins the compensated-sum overdraft bound under -O3.
   # CheckpointResume joins the -O3 net: bit-identical resume is a
   # floating-point identity claim just like the selector equivalences.
+  # ShardEquivalence: sharded == legacy is likewise a floating-point
+  # identity claim (the reach filter must drop exactly what the DP prune
+  # drops under -O3's reassociation too).
   ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
-    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope'
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope|ShardEquivalence'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \

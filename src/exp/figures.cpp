@@ -41,6 +41,22 @@ bool plan_memo_default_from_env() {
   return env != nullptr && *env == '1';
 }
 
+// Default for --shards: the MCS_SHARDS environment variable ("auto" = one
+// worker per hardware thread), otherwise 0 (the legacy round loop).
+std::string shards_default_from_env() {
+  const char* env = std::getenv("MCS_SHARDS");
+  return env == nullptr ? std::string("0") : std::string(env);
+}
+
+int parse_shards(const std::string& s) {
+  if (s == "auto") return sim::SimulatorParams::kAutoShards;
+  const long parsed = std::strtol(s.c_str(), nullptr, 10);
+  MCS_CHECK(parsed >= -1,
+            "--shards must be 'auto', -1 (auto), 0 (legacy) or a worker "
+            "count");
+  return static_cast<int>(parsed);
+}
+
 }  // namespace
 
 ExperimentConfig experiment_from_config(const Config& cfg) {
@@ -103,6 +119,8 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
   MCS_CHECK(e.plan_threads >= 0,
             "--plan-threads must be >= 0 (0 = all cores, 1 = serial)");
   e.plan_memo = cfg.get_bool("plan-memo", plan_memo_default_from_env());
+  e.shards = parse_shards(cfg.get_string("shards", shards_default_from_env()));
+  e.phase_timers = cfg.get_bool("phase-timers", false);
   e.max_attempts = static_cast<int>(cfg.get_int("max-attempts", e.max_attempts));
   MCS_CHECK(e.max_attempts >= 1, "--max-attempts must be >= 1");
   e.checkpoint_every =
@@ -245,6 +263,10 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << (cfg.plan_threads == 0 ? std::string("auto")
                                       : std::to_string(cfg.plan_threads))
             << " plan-memo=" << (cfg.plan_memo ? "on" : "off")
+            << " shards="
+            << (cfg.shards == sim::SimulatorParams::kAutoShards
+                    ? std::string("auto")
+                    : std::to_string(cfg.shards))
             << " max-attempts=" << cfg.max_attempts << "\n";
   if (cfg.checkpoint_every > 0) {
     std::cout << "checkpoints: every=" << cfg.checkpoint_every

@@ -46,6 +46,17 @@ struct ExperimentConfig {
   // repetition fan-out when there are many repetitions and plan threads
   // when a single large campaign dominates.
   int plan_threads = 1;
+  // Spatially sharded round execution (SimulatorParams::shards): 0 = the
+  // legacy round loop (default), n >= 1 = sharded with n workers, -1 =
+  // auto (one per hardware thread). Campaigns are bit-identical at any
+  // shard count; versus the legacy loop the trajectory only moves under
+  // stochastic mobility (per-user substreams replace the serial draw
+  // stream — see SimulatorParams::shards). Benches expose it as --shards /
+  // MCS_SHARDS ("auto" accepted).
+  int shards = 0;
+  // Record per-phase round timings into each campaign's metrics
+  // (SimulatorParams::phase_timers). Benches expose it as --phase-timers.
+  bool phase_timers = false;
   // Cross-user plan memoization (SimulatorParams::memo): provably
   // equivalent selection instances within a round share one solve.
   // Campaigns stay bit-identical with it on or off; it only pays when many

@@ -1,0 +1,60 @@
+// Structure-of-arrays backing storage for the World's task set and user
+// population.
+//
+// Hot round phases touch one field of every entity — mobility writes every
+// user location, the neighbor cache diffs locations, sharding buckets users
+// by position, demand scans task progress. With an array-of-objects layout
+// each of those scans strides over the whole ~100-byte entity; the stores
+// below keep each field in its own dense vector so a single-field sweep
+// reads packed cache lines (8 points or ids per line) and vectorizes.
+//
+// `User` and `Task` (model/user.h, model/task.h) are thin views over one
+// row of these stores — the same accessor API the array-of-objects layout
+// had, so mechanisms, selectors, serialization and the event log compile
+// unchanged. Rows are append-only: nothing in the system removes an entity
+// mid-campaign, and append-only is what keeps row indices stable enough to
+// serve as positions everywhere (visit orders, profit rows, dirty sets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/chunked_bitset.h"
+#include "common/types.h"
+#include "geo/point.h"
+
+namespace mcs::model {
+
+/// One accepted measurement of a task.
+struct Measurement {
+  UserId user = kInvalidUser;
+  Round round = 0;
+  Money reward_paid = 0.0;  // reward at the round the measurement arrived
+};
+
+/// Parallel arrays over the user population; row i is user position i.
+struct UserStore {
+  std::vector<UserId> id;
+  std::vector<geo::Point> home;
+  std::vector<geo::Point> location;   // start-of-round position
+  std::vector<Seconds> time_budget;   // per-round travel-time budget B_ui
+  std::vector<Money> total_reward;    // lifetime earnings
+  std::vector<Money> total_cost;      // lifetime travel spend
+  std::vector<ChunkedBitset> contributed;  // task ids this user delivered to
+
+  std::size_t size() const { return id.size(); }
+};
+
+/// Parallel arrays over the task set; row i is task position i.
+struct TaskStore {
+  std::vector<TaskId> id;
+  std::vector<geo::Point> location;
+  std::vector<Round> deadline;
+  std::vector<int> required;  // phi_i
+  std::vector<std::vector<Measurement>> measurements;
+  std::vector<ChunkedBitset> contributors;  // user ids, mirrors measurements
+
+  std::size_t size() const { return id.size(); }
+};
+
+}  // namespace mcs::model

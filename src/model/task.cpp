@@ -5,14 +5,63 @@
 namespace mcs::model {
 
 Task::Task(TaskId id, geo::Point location, Round deadline, int required)
-    : id_(id), location_(location), deadline_(deadline), required_(required) {
+    : own_(std::make_unique<TaskStore>()) {
   MCS_CHECK(id >= 0, "task id must be non-negative");
   MCS_CHECK(deadline >= 1, "task deadline must be at least round 1");
   MCS_CHECK(required >= 1, "task must require at least one measurement");
+  own_->id.push_back(id);
+  own_->location.push_back(location);
+  own_->deadline.push_back(deadline);
+  own_->required.push_back(required);
+  own_->measurements.emplace_back();
+  own_->contributors.emplace_back();
+  store_ = own_.get();
+  row_ = 0;
+}
+
+Task::Task(const Task& o) : own_(std::make_unique<TaskStore>()) {
+  own_->id.push_back(o.id());
+  own_->location.push_back(o.location());
+  own_->deadline.push_back(o.deadline());
+  own_->required.push_back(o.required());
+  own_->measurements.push_back(o.measurements());
+  own_->contributors.push_back(o.store_->contributors[o.row_]);
+  store_ = own_.get();
+  row_ = 0;
+}
+
+void Task::assign_fields(const Task& o) {
+  store_->id[row_] = o.id();
+  store_->location[row_] = o.location();
+  store_->deadline[row_] = o.deadline();
+  store_->required[row_] = o.required();
+  store_->measurements[row_] = o.measurements();
+  store_->contributors[row_] = o.store_->contributors[o.row_];
+}
+
+Task& Task::operator=(const Task& o) {
+  if (this != &o) assign_fields(o);
+  return *this;
+}
+
+Task& Task::operator=(Task&& o) noexcept {
+  if (this != &o) assign_fields(o);
+  return *this;
+}
+
+std::uint32_t Task::append_row(TaskStore& store, const Task& t) {
+  const auto row = static_cast<std::uint32_t>(store.size());
+  store.id.push_back(t.id());
+  store.location.push_back(t.location());
+  store.deadline.push_back(t.deadline());
+  store.required.push_back(t.required());
+  store.measurements.push_back(t.measurements());
+  store.contributors.push_back(t.store_->contributors[t.row_]);
+  return row;
 }
 
 double Task::progress() const {
-  const double p = static_cast<double>(received()) / required_;
+  const double p = static_cast<double>(received()) / required();
   return p > 1.0 ? 1.0 : p;
 }
 
@@ -25,13 +74,13 @@ void Task::add_measurement(UserId user, Round round, Money reward_paid) {
   MCS_CHECK(!expired_at(round), "task deadline passed");
   MCS_CHECK(!has_contributed(user),
             "user may contribute to a task at most once");
-  measurements_.push_back({user, round, reward_paid});
-  contributors_.insert(user);
+  store_->measurements[row_].push_back({user, round, reward_paid});
+  store_->contributors[row_].set(user);
 }
 
 Money Task::total_paid() const {
   Money total = 0.0;
-  for (const auto& m : measurements_) total += m.reward_paid;
+  for (const auto& m : measurements()) total += m.reward_paid;
   return total;
 }
 

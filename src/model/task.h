@@ -4,47 +4,65 @@
 // deadline D_ti (expressed in sensing rounds), and needs phi_i independent
 // measurements from *distinct* users (each user may contribute to a task at
 // most once — §III-A of the paper).
+//
+// Storage: like User, `Task` is a thin view over one row of a
+// structure-of-arrays TaskStore (model/store.h) — the World's row for views
+// handed out by World::tasks(), a private single-row store for standalone
+// construction. Copy-construction deep-copies to a standalone value;
+// assignment writes field values through to the target's storage;
+// move-construction transfers the representation. See model/user.h for the
+// full semantics.
 #pragma once
 
-#include <unordered_set>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "geo/point.h"
+#include "model/store.h"
 
 namespace mcs::model {
 
-struct Measurement {
-  UserId user = kInvalidUser;
-  Round round = 0;
-  Money reward_paid = 0.0;  // reward at the round the measurement arrived
-};
+template <class ViewT, class StoreT>
+class ViewList;
 
 class Task {
  public:
+  /// Standalone task backed by its own single-row store.
   Task(TaskId id, geo::Point location, Round deadline, int required);
 
-  TaskId id() const { return id_; }
-  geo::Point location() const { return location_; }
-  Round deadline() const { return deadline_; }
-  int required() const { return required_; }
+  Task(const Task& o);
+  Task(Task&& o) noexcept
+      : store_(o.store_), row_(o.row_), own_(std::move(o.own_)) {
+    o.store_ = nullptr;
+  }
+  Task& operator=(const Task& o);
+  Task& operator=(Task&& o) noexcept;
+
+  TaskId id() const { return store_->id[row_]; }
+  geo::Point location() const { return store_->location[row_]; }
+  Round deadline() const { return store_->deadline[row_]; }
+  int required() const { return store_->required[row_]; }
 
   /// pi_i: number of measurements received so far.
-  int received() const { return static_cast<int>(measurements_.size()); }
+  int received() const {
+    return static_cast<int>(store_->measurements[row_].size());
+  }
 
   /// Completing progress pi_i / phi_i in [0, 1].
   double progress() const;
 
-  bool completed() const { return received() >= required_; }
+  bool completed() const { return received() >= required(); }
 
   /// True when round k is already past the deadline (no rounds remain).
-  bool expired_at(Round k) const { return k > deadline_; }
+  bool expired_at(Round k) const { return k > deadline(); }
 
   /// Whether this task still accepts data at round k from this user.
   bool accepts(UserId user, Round k) const;
 
   bool has_contributed(UserId user) const {
-    return contributors_.count(user) != 0;
+    return store_->contributors[row_].test(user);
   }
 
   /// Record a measurement. Enforces the distinct-user rule and the deadline;
@@ -55,18 +73,28 @@ class Task {
   /// never selectable) from the next round on.
   void add_measurement(UserId user, Round round, Money reward_paid);
 
-  const std::vector<Measurement>& measurements() const { return measurements_; }
+  const std::vector<Measurement>& measurements() const {
+    return store_->measurements[row_];
+  }
 
   /// Total rewards paid out for this task so far.
   Money total_paid() const;
 
  private:
-  TaskId id_;
-  geo::Point location_;
-  Round deadline_;
-  int required_;
-  std::vector<Measurement> measurements_;
-  std::unordered_set<UserId> contributors_;
+  friend class ViewList<Task, TaskStore>;
+  friend class World;
+
+  Task(TaskStore* store, std::uint32_t row) : store_(store), row_(row) {}
+
+  /// Append this task's field values as a fresh row of `store`.
+  static std::uint32_t append_row(TaskStore& store, const Task& t);
+
+  /// Overwrite this view's row with `o`'s field values.
+  void assign_fields(const Task& o);
+
+  TaskStore* store_ = nullptr;
+  std::uint32_t row_ = 0;
+  std::unique_ptr<TaskStore> own_;  // non-null only for standalone tasks
 };
 
 }  // namespace mcs::model

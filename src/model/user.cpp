@@ -5,14 +5,67 @@
 namespace mcs::model {
 
 User::User(UserId id, geo::Point home, Seconds time_budget)
-    : id_(id), home_(home), time_budget_(time_budget), location_(home) {
+    : own_(std::make_unique<UserStore>()) {
   MCS_CHECK(id >= 0, "user id must be non-negative");
   MCS_CHECK(time_budget >= 0.0, "time budget must be non-negative");
+  own_->id.push_back(id);
+  own_->home.push_back(home);
+  own_->location.push_back(home);
+  own_->time_budget.push_back(time_budget);
+  own_->total_reward.push_back(0.0);
+  own_->total_cost.push_back(0.0);
+  own_->contributed.emplace_back();
+  store_ = own_.get();
+  row_ = 0;
+}
+
+User::User(const User& o) : own_(std::make_unique<UserStore>()) {
+  own_->id.push_back(o.id());
+  own_->home.push_back(o.home());
+  own_->location.push_back(o.location());
+  own_->time_budget.push_back(o.time_budget());
+  own_->total_reward.push_back(o.total_reward());
+  own_->total_cost.push_back(o.total_cost());
+  own_->contributed.push_back(o.store_->contributed[o.row_]);
+  store_ = own_.get();
+  row_ = 0;
+}
+
+void User::assign_fields(const User& o) {
+  store_->id[row_] = o.id();
+  store_->home[row_] = o.home();
+  store_->location[row_] = o.location();
+  store_->time_budget[row_] = o.time_budget();
+  store_->total_reward[row_] = o.total_reward();
+  store_->total_cost[row_] = o.total_cost();
+  store_->contributed[row_] = o.store_->contributed[o.row_];
+}
+
+User& User::operator=(const User& o) {
+  if (this != &o) assign_fields(o);
+  return *this;
+}
+
+User& User::operator=(User&& o) noexcept {
+  if (this != &o) assign_fields(o);
+  return *this;
+}
+
+std::uint32_t User::append_row(UserStore& store, const User& u) {
+  const auto row = static_cast<std::uint32_t>(store.size());
+  store.id.push_back(u.id());
+  store.home.push_back(u.home());
+  store.location.push_back(u.location());
+  store.time_budget.push_back(u.time_budget());
+  store.total_reward.push_back(u.total_reward());
+  store.total_cost.push_back(u.total_cost());
+  store.contributed.push_back(u.store_->contributed[u.row_]);
+  return row;
 }
 
 void User::set_time_budget(Seconds budget) {
   MCS_CHECK(budget >= 0.0, "time budget must be non-negative");
-  time_budget_ = budget;
+  store_->time_budget[row_] = budget;
 }
 
 }  // namespace mcs::model

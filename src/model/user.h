@@ -3,54 +3,93 @@
 // Users are rational: each round they select the task set maximizing their
 // profit (total reward minus travel cost) subject to a per-round travel-time
 // budget. A user starts every round from its home location.
+//
+// Storage: `User` is a thin VIEW over one row of a structure-of-arrays
+// UserStore (model/store.h). A view constructed by the World (via
+// World::users()) reads and writes the World's columns; a User constructed
+// standalone (the historical value type, still used by tests and
+// serialization) owns a private single-row store, so the accessor API is
+// identical either way. Semantics:
+//   * copy-construction yields a standalone deep copy (value semantics —
+//     mutating the copy never touches the world);
+//   * copy/move-assignment assigns the field VALUES into the target's
+//     existing storage (a view target writes through to its world row,
+//     exactly like assigning into the old std::vector<User> element);
+//   * move-construction transfers the representation (a moved-from view is
+//     empty and only destructible).
+// Views are invalidated by their World's destruction or copy-assignment,
+// never by appending users (rows are append-only and indices are stable).
 #pragma once
 
-#include <unordered_set>
+#include <memory>
+#include <utility>
 
 #include "common/types.h"
 #include "geo/point.h"
+#include "model/store.h"
 
 namespace mcs::model {
 
+template <class ViewT, class StoreT>
+class ViewList;
+
 class User {
  public:
+  /// Standalone user backed by its own single-row store.
   User(UserId id, geo::Point home, Seconds time_budget);
 
-  UserId id() const { return id_; }
-  geo::Point home() const { return home_; }
+  User(const User& o);
+  User(User&& o) noexcept
+      : store_(o.store_), row_(o.row_), own_(std::move(o.own_)) {
+    o.store_ = nullptr;
+  }
+  User& operator=(const User& o);
+  User& operator=(User&& o) noexcept;
+
+  UserId id() const { return store_->id[row_]; }
+  geo::Point home() const { return store_->home[row_]; }
 
   /// Per-round travel-time budget B_ui (seconds).
-  Seconds time_budget() const { return time_budget_; }
+  Seconds time_budget() const { return store_->time_budget[row_]; }
   void set_time_budget(Seconds budget);
 
   /// Location at the start of the current round.
-  geo::Point location() const { return location_; }
-  void set_location(geo::Point p) { location_ = p; }
-  void return_home() { location_ = home_; }
+  geo::Point location() const { return store_->location[row_]; }
+  void set_location(geo::Point p) { store_->location[row_] = p; }
+  void return_home() { store_->location[row_] = store_->home[row_]; }
 
   bool has_contributed(TaskId task) const {
-    return contributed_.count(task) != 0;
+    return store_->contributed[row_].test(task);
   }
-  void mark_contributed(TaskId task) { contributed_.insert(task); }
-  std::size_t tasks_contributed() const { return contributed_.size(); }
+  void mark_contributed(TaskId task) { store_->contributed[row_].set(task); }
+  std::size_t tasks_contributed() const {
+    return store_->contributed[row_].count();
+  }
 
   /// Lifetime earnings bookkeeping.
-  Money total_reward() const { return total_reward_; }
-  Money total_cost() const { return total_cost_; }
-  Money total_profit() const { return total_reward_ - total_cost_; }
+  Money total_reward() const { return store_->total_reward[row_]; }
+  Money total_cost() const { return store_->total_cost[row_]; }
+  Money total_profit() const { return total_reward() - total_cost(); }
   void add_earnings(Money reward, Money cost) {
-    total_reward_ += reward;
-    total_cost_ += cost;
+    store_->total_reward[row_] += reward;
+    store_->total_cost[row_] += cost;
   }
 
  private:
-  UserId id_;
-  geo::Point home_;
-  Seconds time_budget_;
-  geo::Point location_;
-  std::unordered_set<TaskId> contributed_;
-  Money total_reward_ = 0.0;
-  Money total_cost_ = 0.0;
+  friend class ViewList<User, UserStore>;
+  friend class World;
+
+  User(UserStore* store, std::uint32_t row) : store_(store), row_(row) {}
+
+  /// Append this user's field values as a fresh row of `store`.
+  static std::uint32_t append_row(UserStore& store, const User& u);
+
+  /// Overwrite this view's row with `o`'s field values.
+  void assign_fields(const User& o);
+
+  UserStore* store_ = nullptr;
+  std::uint32_t row_ = 0;
+  std::unique_ptr<UserStore> own_;  // non-null only for standalone users
 };
 
 }  // namespace mcs::model

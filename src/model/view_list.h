@@ -1,0 +1,95 @@
+// ViewList: the vector-like container World hands out for its entities.
+//
+// World::users()/tasks() historically returned std::vector<User>/<Task>;
+// with structure-of-arrays storage the entities live in a UserStore/
+// TaskStore and `User`/`Task` are row views. ViewList keeps the vector
+// surface the ~90 call sites use — size/empty/operator[]/front/back/data/
+// begin/end/range-for/push_back/emplace_back — while keeping the store and
+// the view vector in lockstep: every append writes a store row AND a view,
+// so `&t - world.tasks().data()` is still the entity's position and
+// serialization's push_back of standalone sparse-id entities still works.
+//
+// Append-only on purpose: nothing removes entities mid-campaign, and the
+// absence of erase/insert is what keeps row indices valid as positions.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mcs::model {
+
+template <class ViewT, class StoreT>
+class ViewList {
+ public:
+  using value_type = ViewT;
+  using iterator = ViewT*;
+  using const_iterator = const ViewT*;
+
+  // Moves transfer the view vector (stores are heap-held by the World, so
+  // the views stay valid); copying a list would detach views from rows, so
+  // it is disabled — copy the World instead.
+  ViewList(ViewList&&) noexcept = default;
+  ViewList& operator=(ViewList&&) noexcept = default;
+  ViewList(const ViewList&) = delete;
+  ViewList& operator=(const ViewList&) = delete;
+
+  std::size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+
+  ViewT& operator[](std::size_t i) { return views_[i]; }
+  const ViewT& operator[](std::size_t i) const { return views_[i]; }
+  ViewT& front() { return views_.front(); }
+  const ViewT& front() const { return views_.front(); }
+  ViewT& back() { return views_.back(); }
+  const ViewT& back() const { return views_.back(); }
+
+  ViewT* data() { return views_.data(); }
+  const ViewT* data() const { return views_.data(); }
+  iterator begin() { return views_.data(); }
+  iterator end() { return views_.data() + views_.size(); }
+  const_iterator begin() const { return views_.data(); }
+  const_iterator end() const { return views_.data() + views_.size(); }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+  /// Copies `v`'s field values into a fresh store row (whether `v` is a
+  /// standalone value or a view of another store) and appends its view.
+  void push_back(const ViewT& v) {
+    const std::uint32_t row = ViewT::append_row(*store_, v);
+    views_.push_back(ViewT(store_, row));
+  }
+  void push_back(ViewT&& v) { push_back(static_cast<const ViewT&>(v)); }
+
+  template <class... Args>
+  ViewT& emplace_back(Args&&... args) {
+    push_back(ViewT(std::forward<Args>(args)...));
+    return views_.back();
+  }
+
+  void reserve(std::size_t n) { views_.reserve(n); }
+
+ private:
+  template <class V, class S>
+  friend class ViewList;
+  friend class World;
+
+  ViewList() = default;
+  explicit ViewList(StoreT* store) : store_(store) {}
+
+  /// Point this list at `store` and regenerate one view per row — the
+  /// World's copy/assignment hook.
+  void rebind(StoreT* store) {
+    store_ = store;
+    views_.clear();
+    views_.reserve(store->size());
+    for (std::uint32_t row = 0; row < store->size(); ++row) {
+      views_.push_back(ViewT(store, row));
+    }
+  }
+
+  StoreT* store_ = nullptr;
+  std::vector<ViewT> views_;
+};
+
+}  // namespace mcs::model

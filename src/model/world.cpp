@@ -3,26 +3,130 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mcs::model {
 
+namespace {
+
+#ifndef NDEBUG
+// Debug tripwire for the NOT-thread-safe neighbor cache: claims the flag for
+// the guarded scope; a second concurrent claimant fails loudly. Single-
+// threaded re-entry cannot happen (no guarded method calls another guarded
+// method while holding its guard).
+class CacheBusyGuard {
+ public:
+  explicit CacheBusyGuard(std::atomic<int>& flag) : flag_(flag) {
+    MCS_ASSERT(flag_.exchange(1, std::memory_order_acq_rel) == 0,
+               "World neighbor cache accessed concurrently — the cache "
+               "mutates under const and is documented single-consumer "
+               "(world.h); give each thread its own World");
+  }
+  ~CacheBusyGuard() { flag_.store(0, std::memory_order_release); }
+
+  CacheBusyGuard(const CacheBusyGuard&) = delete;
+  CacheBusyGuard& operator=(const CacheBusyGuard&) = delete;
+
+ private:
+  std::atomic<int>& flag_;
+};
+#define MCS_NCACHE_GUARD(flag) const CacheBusyGuard ncache_busy_guard(flag)
+#else
+#define MCS_NCACHE_GUARD(flag) static_cast<void>(flag)
+#endif
+
+}  // namespace
+
 World::World(geo::BoundingBox area, geo::TravelModel travel,
              Meters neighbor_radius)
-    : area_(area), travel_(travel), neighbor_radius_(neighbor_radius) {
+    : area_(area),
+      travel_(travel),
+      neighbor_radius_(neighbor_radius),
+      tstore_(std::make_unique<TaskStore>()),
+      ustore_(std::make_unique<UserStore>()),
+      tasks_(tstore_.get()),
+      users_(ustore_.get()) {
   MCS_CHECK(neighbor_radius >= 0.0, "neighbor radius must be non-negative");
   MCS_CHECK(travel.speed_mps > 0.0, "travel speed must be positive");
   MCS_CHECK(travel.cost_per_meter >= 0.0, "travel cost must be non-negative");
 }
 
+World::World(World&& o) noexcept
+    : area_(o.area_),
+      travel_(o.travel_),
+      neighbor_radius_(o.neighbor_radius_),
+      tstore_(std::move(o.tstore_)),
+      ustore_(std::move(o.ustore_)),
+      tasks_(std::move(o.tasks_)),
+      users_(std::move(o.users_)),
+      ncache_(std::move(o.ncache_)) {}
+
+World& World::operator=(World&& o) noexcept {
+  if (this != &o) {
+    area_ = o.area_;
+    travel_ = o.travel_;
+    neighbor_radius_ = o.neighbor_radius_;
+    tstore_ = std::move(o.tstore_);
+    ustore_ = std::move(o.ustore_);
+    tasks_ = std::move(o.tasks_);
+    users_ = std::move(o.users_);
+    ncache_ = std::move(o.ncache_);
+  }
+  return *this;
+}
+
+World::World(const World& o)
+    : area_(o.area_),
+      travel_(o.travel_),
+      neighbor_radius_(o.neighbor_radius_),
+      tstore_(std::make_unique<TaskStore>(*o.tstore_)),
+      ustore_(std::make_unique<UserStore>(*o.ustore_)),
+      ncache_(o.ncache_) {
+  tasks_.rebind(tstore_.get());
+  users_.rebind(ustore_.get());
+}
+
+World& World::operator=(const World& o) {
+  if (this != &o) {
+    area_ = o.area_;
+    travel_ = o.travel_;
+    neighbor_radius_ = o.neighbor_radius_;
+    *tstore_ = *o.tstore_;
+    *ustore_ = *o.ustore_;
+    tasks_.rebind(tstore_.get());
+    users_.rebind(ustore_.get());
+    ncache_ = o.ncache_;
+  }
+  return *this;
+}
+
 TaskId World::add_task(geo::Point location, Round deadline, int required) {
-  const auto id = static_cast<TaskId>(tasks_.size());
-  tasks_.emplace_back(id, location, deadline, required);
+  MCS_CHECK(deadline >= 1, "task deadline must be at least round 1");
+  MCS_CHECK(required >= 1, "task must require at least one measurement");
+  const auto row = static_cast<std::uint32_t>(tstore_->size());
+  const auto id = static_cast<TaskId>(row);
+  tstore_->id.push_back(id);
+  tstore_->location.push_back(location);
+  tstore_->deadline.push_back(deadline);
+  tstore_->required.push_back(required);
+  tstore_->measurements.emplace_back();
+  tstore_->contributors.emplace_back();
+  tasks_.views_.push_back(Task(tstore_.get(), row));
   return id;
 }
 
 UserId World::add_user(geo::Point home, Seconds time_budget) {
-  const auto id = static_cast<UserId>(users_.size());
-  users_.emplace_back(id, home, time_budget);
+  MCS_CHECK(time_budget >= 0.0, "time budget must be non-negative");
+  const auto row = static_cast<std::uint32_t>(ustore_->size());
+  const auto id = static_cast<UserId>(row);
+  ustore_->id.push_back(id);
+  ustore_->home.push_back(home);
+  ustore_->location.push_back(home);
+  ustore_->time_budget.push_back(time_budget);
+  ustore_->total_reward.push_back(0.0);
+  ustore_->total_cost.push_back(0.0);
+  ustore_->contributed.emplace_back();
+  users_.views_.push_back(User(ustore_.get(), row));
   return id;
 }
 
@@ -30,12 +134,12 @@ UserId World::add_user(geo::Point home, Seconds time_budget) {
 // serves; worlds assembled directly through the mutable tasks() accessor may
 // carry arbitrary ids and fall back to a scan.
 Task& World::task(TaskId id) {
-  if (id >= 0 && static_cast<std::size_t>(id) < tasks_.size() &&
-      tasks_[static_cast<std::size_t>(id)].id() == id) {
+  if (id >= 0 && static_cast<std::size_t>(id) < tstore_->size() &&
+      tstore_->id[static_cast<std::size_t>(id)] == id) {
     return tasks_[static_cast<std::size_t>(id)];
   }
-  for (Task& t : tasks_) {
-    if (t.id() == id) return t;
+  for (std::size_t i = 0; i < tstore_->size(); ++i) {
+    if (tstore_->id[i] == id) return tasks_[i];
   }
   throw Error("unknown task id");
 }
@@ -48,12 +152,12 @@ const Task& World::task(TaskId id) const {
 // hand-assembled worlds with arbitrary user ids working (same bug class as
 // the dense-TaskId fixes).
 User& World::user(UserId id) {
-  if (id >= 0 && static_cast<std::size_t>(id) < users_.size() &&
-      users_[static_cast<std::size_t>(id)].id() == id) {
+  if (id >= 0 && static_cast<std::size_t>(id) < ustore_->size() &&
+      ustore_->id[static_cast<std::size_t>(id)] == id) {
     return users_[static_cast<std::size_t>(id)];
   }
-  for (User& u : users_) {
-    if (u.id() == id) return u;
+  for (std::size_t i = 0; i < ustore_->size(); ++i) {
+    if (ustore_->id[i] == id) return users_[i];
   }
   throw Error("unknown user id");
 }
@@ -64,40 +168,42 @@ const User& World::user(UserId id) const {
 
 bool World::neighbor_cache_usable() const {
   if (!ncache_.valid) return false;
-  if (ncache_.user_pos.size() != users_.size()) return false;
-  if (ncache_.task_pos.size() != tasks_.size()) return false;
+  if (ncache_.user_pos.size() != ustore_->size()) return false;
+  if (ncache_.task_pos.size() != tstore_->size()) return false;
   // Task locations are immutable on Task, but the mutable tasks() accessor
-  // lets tests swap whole vectors; a cheap point compare catches that.
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (!(tasks_[i].location() == ncache_.task_pos[i])) return false;
+  // lets tests append tasks later; a cheap point compare catches swaps too.
+  for (std::size_t i = 0; i < tstore_->size(); ++i) {
+    if (!(tstore_->location[i] == ncache_.task_pos[i])) return false;
   }
   return true;
 }
 
-void World::rebuild_neighbor_cache() const {
+void World::rebuild_neighbor_grids() const {
   // Cell size = query radius keeps the scan at a 3x3 cell neighborhood.
   const double cell =
       neighbor_radius_ > 0.0 ? neighbor_radius_ : area_.diameter();
   ncache_.user_grid.emplace(area_, cell);
   ncache_.task_grid.emplace(area_, cell);
-  ncache_.user_pos.resize(users_.size());
-  for (std::size_t i = 0; i < users_.size(); ++i) {
-    ncache_.user_pos[i] = users_[i].location();
+  ncache_.user_pos.resize(ustore_->size());
+  for (std::size_t i = 0; i < ustore_->size(); ++i) {
+    ncache_.user_pos[i] = ustore_->location[i];
     ncache_.user_grid->insert(static_cast<std::int32_t>(i),
                               ncache_.user_pos[i]);
   }
-  ncache_.task_pos.resize(tasks_.size());
-  ncache_.counts.resize(tasks_.size());
-  // Histogram for the running max: counts are bounded by the population.
-  ncache_.count_freq.assign(users_.size() + 1, 0);
-  ncache_.max_count = 0;
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    ncache_.task_pos[i] = tasks_[i].location();
+  ncache_.task_pos.resize(tstore_->size());
+  ncache_.counts.resize(tstore_->size());
+  for (std::size_t i = 0; i < tstore_->size(); ++i) {
+    ncache_.task_pos[i] = tstore_->location[i];
     ncache_.task_grid->insert(static_cast<std::int32_t>(i),
                               ncache_.task_pos[i]);
-    ncache_.counts[i] = static_cast<int>(
-        ncache_.user_grid->count_radius(ncache_.task_pos[i],
-                                        neighbor_radius_));
+  }
+}
+
+void World::rebuild_neighbor_derived() const {
+  // Histogram for the running max: counts are bounded by the population.
+  ncache_.count_freq.assign(ustore_->size() + 1, 0);
+  ncache_.max_count = 0;
+  for (std::size_t i = 0; i < tstore_->size(); ++i) {
     ++ncache_.count_freq[static_cast<std::size_t>(ncache_.counts[i])];
     if (ncache_.counts[i] > ncache_.max_count) {
       ncache_.max_count = ncache_.counts[i];
@@ -106,10 +212,49 @@ void World::rebuild_neighbor_cache() const {
   // Reset the change journal: per-position deltas are meaningless across a
   // rebuild, so consumers see rebuilt=true until the next take.
   ncache_.changed.clear();
-  ncache_.changed_mark.assign(tasks_.size(), 0);
+  ncache_.changed_mark.assign(tstore_->size(), 0);
   ncache_.changed_gen = 1;
   ncache_.rebuilt_pending = true;
   ncache_.valid = true;
+}
+
+void World::rebuild_neighbor_cache() const {
+  rebuild_neighbor_grids();
+  for (std::size_t i = 0; i < tstore_->size(); ++i) {
+    ncache_.counts[i] = static_cast<int>(
+        ncache_.user_grid->count_radius(ncache_.task_pos[i],
+                                        neighbor_radius_));
+  }
+  rebuild_neighbor_derived();
+}
+
+void World::warm_neighbor_cache(ThreadPool& pool, int workers) const {
+  MCS_NCACHE_GUARD(ncache_busy_);
+  if (neighbor_cache_usable()) return;  // delta sync stays lazy and serial
+  if (workers <= 1 || tstore_->size() < 2) {
+    rebuild_neighbor_cache();
+    return;
+  }
+  // Grid construction is serial (inserts mutate shared cell lists); the
+  // per-task counting — the O(T * users-in-3x3-cells) bulk of a rebuild —
+  // fans out over disjoint count slots against the read-only user grid,
+  // with the exact predicate of the serial rebuild.
+  rebuild_neighbor_grids();
+  const std::size_t n = tstore_->size();
+  const auto w = static_cast<std::size_t>(workers);
+  for (std::size_t s = 0; s < w; ++s) {
+    pool.submit([this, s, w, n] {
+      const std::size_t lo = s * n / w;
+      const std::size_t hi = (s + 1) * n / w;
+      for (std::size_t i = lo; i < hi; ++i) {
+        ncache_.counts[i] = static_cast<int>(
+            ncache_.user_grid->count_radius(ncache_.task_pos[i],
+                                            neighbor_radius_));
+      }
+    });
+  }
+  pool.wait_idle();
+  rebuild_neighbor_derived();
 }
 
 void World::bump_neighbor_count(std::size_t pos, int delta) const {
@@ -143,8 +288,8 @@ void World::sync_neighbor_cache() const {
   // every task within radius of p0 and enters that of every task within
   // radius of p1. The task grid answers both "tasks near p" queries with
   // the exact predicate a full recount uses, so counts stay integer-exact.
-  for (std::size_t i = 0; i < users_.size(); ++i) {
-    const geo::Point now = users_[i].location();
+  for (std::size_t i = 0; i < ustore_->size(); ++i) {
+    const geo::Point now = ustore_->location[i];
     if (now == ncache_.user_pos[i]) continue;
     ncache_.user_grid->remove(static_cast<std::int32_t>(i),
                               ncache_.user_pos[i]);
@@ -162,6 +307,7 @@ void World::sync_neighbor_cache() const {
 }
 
 const std::vector<int>& World::neighbor_counts() const {
+  MCS_NCACHE_GUARD(ncache_busy_);
   if (neighbor_cache_usable()) {
     sync_neighbor_cache();
   } else {
@@ -177,6 +323,7 @@ int World::neighbor_max_count() const {
 
 World::NeighborDelta World::take_neighbor_changes() const {
   neighbor_counts();  // sync or rebuild
+  MCS_NCACHE_GUARD(ncache_busy_);
   NeighborDelta d;
   d.rebuilt = ncache_.rebuilt_pending;
   std::swap(ncache_.changed, ncache_.taken);
@@ -196,19 +343,23 @@ World::NeighborDelta World::take_neighbor_changes() const {
 
 long long World::total_required() const {
   long long total = 0;
-  for (const Task& t : tasks_) total += t.required();
+  for (const int r : tstore_->required) total += r;
   return total;
 }
 
 long long World::total_received() const {
   long long total = 0;
-  for (const Task& t : tasks_) total += t.received();
+  for (const auto& m : tstore_->measurements) {
+    total += static_cast<long long>(m.size());
+  }
   return total;
 }
 
 Money World::total_paid() const {
   Money total = 0.0;
-  for (const Task& t : tasks_) total += t.total_paid();
+  for (const auto& ms : tstore_->measurements) {
+    for (const Measurement& m : ms) total += m.reward_paid;
+  }
   return total;
 }
 

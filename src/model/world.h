@@ -1,9 +1,19 @@
 // World: the shared state of one crowdsensing deployment — the task set, the
 // user population, the deployment area and the travel model. Owned by the
 // simulator; incentive mechanisms and selectors observe it read-only.
+//
+// Storage is structure-of-arrays (model/store.h): every entity field lives
+// in its own dense column, and the `User&`/`Task&` references handed out
+// here are row views (model/user.h, model/task.h) — same accessor API as
+// the historical array-of-objects layout, but single-field sweeps (mobility
+// writes, neighbor-cache location diffs, shard bucketing) stream packed
+// cache lines. Rows are append-only, so positions (row indices) are stable
+// and views are only invalidated by destroying or copy-assigning the World.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -11,14 +21,31 @@
 #include "geo/bbox.h"
 #include "geo/path.h"
 #include "geo/spatial_grid.h"
+#include "model/store.h"
 #include "model/task.h"
 #include "model/user.h"
+#include "model/view_list.h"
+
+namespace mcs {
+class ThreadPool;
+}
 
 namespace mcs::model {
+
+using TaskList = ViewList<Task, TaskStore>;
+using UserList = ViewList<User, UserStore>;
 
 class World {
  public:
   World(geo::BoundingBox area, geo::TravelModel travel, Meters neighbor_radius);
+
+  // Stores are heap-held, so moving a World never invalidates the row views
+  // (they point into the stores, not into the World object). Copying clones
+  // the stores and regenerates the views over the clone.
+  World(World&& o) noexcept;
+  World& operator=(World&& o) noexcept;
+  World(const World& o);
+  World& operator=(const World& o);
 
   const geo::BoundingBox& area() const { return area_; }
   const geo::TravelModel& travel() const { return travel_; }
@@ -27,18 +54,24 @@ class World {
   TaskId add_task(geo::Point location, Round deadline, int required);
   UserId add_user(geo::Point home, Seconds time_budget);
 
-  std::size_t num_tasks() const { return tasks_.size(); }
-  std::size_t num_users() const { return users_.size(); }
+  std::size_t num_tasks() const { return tstore_->size(); }
+  std::size_t num_users() const { return ustore_->size(); }
 
   Task& task(TaskId id);
   const Task& task(TaskId id) const;
   User& user(UserId id);
   const User& user(UserId id) const;
 
-  const std::vector<Task>& tasks() const { return tasks_; }
-  const std::vector<User>& users() const { return users_; }
-  std::vector<Task>& tasks() { return tasks_; }
-  std::vector<User>& users() { return users_; }
+  const TaskList& tasks() const { return tasks_; }
+  const UserList& users() const { return users_; }
+  TaskList& tasks() { return tasks_; }
+  UserList& users() { return users_; }
+
+  /// The raw structure-of-arrays columns. Read-only: the hot phases that
+  /// sweep a single field (neighbor sync, shard bucketing, the sharded
+  /// pre-pass) read these directly instead of striding over views.
+  const UserStore& user_store() const { return *ustore_; }
+  const TaskStore& task_store() const { return *tstore_; }
 
   /// N_i for every task: number of users within neighbor_radius of the task
   /// location (one entry per task *position*). Backed by a persistent
@@ -53,7 +86,9 @@ class World {
   /// the result is always identical to the brute-force O(U·T) scan.
   /// NOT thread-safe (the cache mutates under const): concurrent readers
   /// must hold distinct World instances, which is what the experiment
-  /// runner's one-simulator-per-repetition shape guarantees.
+  /// runner's one-simulator-per-repetition shape guarantees. Debug builds
+  /// carry a tripwire: concurrent entry to any cache-syncing accessor
+  /// throws mcs::Error instead of racing silently.
   const std::vector<int>& neighbor_counts() const;
 
   /// The maximum of neighbor_counts() (Nmax, the X3 denominator of Eq. 6),
@@ -62,6 +97,17 @@ class World {
   /// exactly like neighbor_counts() and always equals
   /// *max_element(neighbor_counts()) (0 when there are no tasks).
   int neighbor_max_count() const;
+
+  /// Rebuild the neighbor cache with the per-task counting fanned out over
+  /// `pool` when a rebuild is due (first use, or the task/user set
+  /// changed). A no-op when the cache is merely stale — the delta sync is
+  /// O(moved) and stays serial. Counts are integer-exact and identical to
+  /// the serial rebuild: workers only run read-only count_radius queries
+  /// over the freshly built user grid into disjoint count slots, and the
+  /// histogram/journal bookkeeping is rebuilt serially afterwards. The
+  /// caller must be the cache's single consumer (same contract as
+  /// neighbor_counts()).
+  void warm_neighbor_cache(ThreadPool& pool, int workers) const;
 
   /// Everything that happened to the neighbor counts since the journal was
   /// last taken. `rebuilt` true means the cache was rebuilt from scratch
@@ -107,11 +153,18 @@ class World {
   void rebuild_neighbor_cache() const;
   void sync_neighbor_cache() const;
 
+  /// Shared serial prologue/epilogue of the serial and pooled rebuilds:
+  /// grids + position snapshots, then histogram/journal reconstruction.
+  void rebuild_neighbor_grids() const;
+  void rebuild_neighbor_derived() const;
+
   geo::BoundingBox area_;
   geo::TravelModel travel_;
   Meters neighbor_radius_;
-  std::vector<Task> tasks_;
-  std::vector<User> users_;
+  std::unique_ptr<TaskStore> tstore_;
+  std::unique_ptr<UserStore> ustore_;
+  TaskList tasks_;
+  UserList users_;
 
   /// Apply a +-1 count change to task `pos`, keeping the histogram-backed
   /// running max and the change journal in step.
@@ -141,6 +194,11 @@ class World {
     bool rebuilt_pending = true;
   };
   mutable NeighborCache ncache_;
+  // Debug tripwire for the documented NOT-thread-safe contract: every
+  // cache-syncing entry point claims this flag for its duration, so two
+  // concurrent readers fail an MCS_ASSERT instead of racing the mutable
+  // cache. Compiled to nothing under NDEBUG.
+  mutable std::atomic<int> ncache_busy_{0};
 };
 
 }  // namespace mcs::model

@@ -22,9 +22,17 @@ PlanMemo::PlanMemo(PlanMemoParams params) : params_(params) {
 
 void PlanMemo::begin_round(const CandidatePool& pool) {
   pool_ = &pool;
+  cell_mode_ = false;
   entries_.clear();
   buckets_.clear();  // keeps the bucket array; no rehash next round
   ++stats_.rounds;
+}
+
+void PlanMemo::begin_cell() {
+  pool_ = nullptr;
+  cell_mode_ = true;
+  entries_.clear();
+  buckets_.clear();
 }
 
 std::uint64_t PlanMemo::key_of(const SelectionInstance& inst,
@@ -42,21 +50,41 @@ std::uint64_t PlanMemo::key_of(const SelectionInstance& inst,
 
 PlanMemo::Ticket PlanMemo::classify(const SelectionInstance& inst,
                                     int exact_candidate_limit) {
-  MCS_CHECK(pool_ != nullptr, "PlanMemo::begin_round() not called");
-  MCS_CHECK(inst.has_pool() && inst.pool.get() == pool_,
-            "instance must carry this round's candidate pool");
+  MCS_CHECK(pool_ != nullptr || cell_mode_,
+            "PlanMemo::begin_round()/begin_cell() not called");
 
-  // Canonical signature of the included pool-row subset: a bitmask over the
-  // round's pool rows. Identical masks => identical candidate ids,
-  // locations and enumeration order (make_instance walks rows ascending).
-  const std::size_t rows = pool_->size();
-  scratch_inclusion_.assign((rows + 63) / 64, 0);
-  for (const std::int32_t row : inst.pool_index) {
-    scratch_inclusion_[static_cast<std::size_t>(row) >> 6] |=
-        1ULL << (static_cast<std::size_t>(row) & 63);
+  // Canonical signature of the candidate subset. Pooled rounds use a
+  // bitmask over the round's pool rows: identical masks => identical
+  // candidate ids, locations and enumeration order (make_instance walks
+  // rows ascending). Cell mode uses the candidate task-id vector directly
+  // (ids ascend with task position, and within one round an id determines
+  // its location) — the same implication, without a pool.
+  std::uint64_t sig = 0;
+  if (cell_mode_) {
+    MCS_CHECK(!inst.has_pool(), "cell-mode instances are poolless");
+    const std::size_t n = inst.candidates.size();
+    scratch_ids_.resize(n);
+    sig = mix64(static_cast<std::uint64_t>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      scratch_ids_[j] = inst.candidates[j].task;
+      sig = hash_combine(sig, static_cast<std::uint64_t>(scratch_ids_[j]));
+    }
+  } else {
+    MCS_CHECK(inst.has_pool() && inst.pool.get() == pool_,
+              "instance must carry this round's candidate pool");
+    const std::size_t rows = pool_->size();
+    scratch_inclusion_.assign((rows + 63) / 64, 0);
+    for (const std::int32_t row : inst.pool_index) {
+      scratch_inclusion_[static_cast<std::size_t>(row) >> 6] |=
+          1ULL << (static_cast<std::size_t>(row) & 63);
+    }
+    sig = mix64(static_cast<std::uint64_t>(rows));
+    for (const std::uint64_t w : scratch_inclusion_) sig = hash_combine(sig, w);
   }
-  std::uint64_t sig = mix64(static_cast<std::uint64_t>(rows));
-  for (const std::uint64_t w : scratch_inclusion_) sig = hash_combine(sig, w);
+  const auto same_subset = [&](const Entry& e) {
+    return cell_mode_ ? e.ids == scratch_ids_
+                      : e.inclusion == scratch_inclusion_;
+  };
 
   // Prices are frozen for the round by the caller (round-granularity
   // mechanisms), but the memo does not take that on faith: rewards and the
@@ -81,7 +109,7 @@ PlanMemo::Ticket PlanMemo::classify(const SelectionInstance& inst,
   // return. The hash only routed us here — every field is re-verified.
   for (const std::uint32_t idx : bucket) {
     const Entry& e = entries_[idx];
-    if (e.inclusion != scratch_inclusion_) continue;
+    if (!same_subset(e)) continue;
     if (!(e.start == inst.start) || e.time_budget != inst.time_budget) {
       continue;
     }
@@ -104,7 +132,7 @@ PlanMemo::Ticket PlanMemo::classify(const SelectionInstance& inst,
   if (exact_candidate_limit >= static_cast<int>(m)) {
     for (const std::uint32_t idx : bucket) {
       const Entry& e = entries_[idx];
-      if (e.inclusion != scratch_inclusion_) continue;
+      if (!same_subset(e)) continue;
       if (e.exact_limit < static_cast<int>(m)) continue;
       if (inst.time_budget > e.time_budget) continue;
       if (!economics_match(e)) continue;
@@ -128,7 +156,11 @@ PlanMemo::Ticket PlanMemo::classify(const SelectionInstance& inst,
     Entry e;
     e.start = inst.start;
     e.time_budget = inst.time_budget;
-    e.inclusion = scratch_inclusion_;
+    if (cell_mode_) {
+      e.ids = scratch_ids_;
+    } else {
+      e.inclusion = scratch_inclusion_;
+    }
     e.d0 = scratch_d0_;
     e.travel = inst.travel;
     e.rewards.resize(m);

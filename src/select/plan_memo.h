@@ -118,6 +118,16 @@ class PlanMemo {
   /// round's shared pool. Cumulative stats survive across rounds.
   void begin_round(const CandidatePool& pool);
 
+  /// Poolless (cell) mode, used by the sharded round loop: start a table
+  /// scoped to one shard cell. Instances carry no CandidatePool, so the
+  /// equivalence-class signature is the candidate task-id vector instead of
+  /// a pool-row bitmask — identical ids within one round imply identical
+  /// locations and enumeration order, and rewards/travel/start/budget are
+  /// re-verified exactly as in pooled mode, so every reuse proof carries
+  /// over unchanged. Does not advance stats().rounds (the sharded loop
+  /// counts each round once, not once per cell).
+  void begin_cell();
+
   /// Phase 1, serial, in user-position order. The instance must carry the
   /// round pool (has_pool()). `exact_candidate_limit` is the solving
   /// selector's TaskSelector::exact_candidate_limit(). Updates stats for
@@ -151,6 +161,7 @@ class PlanMemo {
     geo::Point start;
     Seconds time_budget = 0.0;
     std::vector<std::uint64_t> inclusion;  // bitmask over pool rows
+    std::vector<TaskId> ids;       // candidate ids (cell mode only)
     std::vector<Meters> d0;        // start-leg distance per included candidate
     std::vector<Money> rewards;    // per included candidate, insert-time
     geo::TravelModel travel;
@@ -165,11 +176,13 @@ class PlanMemo {
 
   PlanMemoParams params_;
   const CandidatePool* pool_ = nullptr;
+  bool cell_mode_ = false;  // begin_cell() table: signatures are id vectors
   std::vector<Entry> entries_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
   PlanMemoStats stats_;
   // Scratch reused across classify() calls.
   std::vector<std::uint64_t> scratch_inclusion_;
+  std::vector<TaskId> scratch_ids_;
   std::vector<Meters> scratch_d0_;
 };
 

@@ -59,6 +59,8 @@ Json params_to_json(const SimulatorParams& p) {
   faults["seed"] = Json(hex_u64(p.faults.seed));
   o["faults"] = Json(std::move(faults));
   o["plan_threads"] = Json(p.plan_threads);
+  o["shards"] = Json(p.shards);
+  o["phase_timers"] = Json(p.phase_timers);
   Json::Object memo;
   memo["enabled"] = Json(p.memo.enabled);
   memo["cell_size"] = Json(p.memo.cell_size);
@@ -86,6 +88,14 @@ SimulatorParams params_from_json(const Json& j) {
   p.faults.validate();
   p.plan_threads = static_cast<int>(j.at("plan_threads").as_int());
   MCS_CHECK(p.plan_threads >= 0, "plan_threads must be non-negative");
+  // Added after the first checkpoint format shipped; absent keys keep the
+  // defaults so older checkpoints stay loadable.
+  if (j.has("shards")) {
+    p.shards = static_cast<int>(j.at("shards").as_int());
+    MCS_CHECK(p.shards >= SimulatorParams::kAutoShards,
+              "shards must be -1 (auto), 0 (legacy) or a worker count");
+  }
+  if (j.has("phase_timers")) p.phase_timers = j.at("phase_timers").as_bool();
   const Json& jm = j.at("memo");
   p.memo.enabled = jm.at("enabled").as_bool();
   p.memo.cell_size = jm.at("cell_size").as_number();

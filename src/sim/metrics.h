@@ -81,6 +81,18 @@ struct CampaignMetrics {
   long long plan_fixup_hits = 0;
   long long plan_misses = 0;
   long long plan_fallbacks = 0;
+  // Cumulative wall-clock seconds per round phase, populated only when
+  // SimulatorParams::phase_timers is set (all zero otherwise). Pre-pass
+  // covers mobility/dropout (plus shard bucketing and the round task grid
+  // in sharded mode), plan the selection solves, reprice the mechanism's
+  // reward updates, commit the serial delivery/payment pass. Untimed glue
+  // (open-set scans, pool build, metrics) is excluded, and the counters are
+  // a profiling diagnostic: they are not checkpointed, so a resumed
+  // campaign restarts them at zero.
+  double phase_prepass_s = 0.0;
+  double phase_plan_s = 0.0;
+  double phase_reprice_s = 0.0;
+  double phase_commit_s = 0.0;
 };
 
 double coverage_pct(const model::World& world);

@@ -1,12 +1,17 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <memory>
 #include <numeric>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "geo/distance.h"
+#include "geo/spatial_grid.h"
 #include "select/candidate_pool.h"
 #include "sim/checkpoint.h"
 #include "sim/serialize.h"
@@ -35,6 +40,13 @@ Simulator::Simulator(model::World world,
 }
 
 namespace {
+
+// Monotonic wall clock for the opt-in phase timers.
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::vector<bool> open_tasks(const model::World& world,
                              const incentive::IncentiveMechanism& mechanism,
@@ -200,8 +212,11 @@ void Simulator::run_sessions_intra_round(
   // Task positions the previous session touched: between two sessions of
   // one round only those tasks gained measurements, so the mechanism can
   // reprice incrementally instead of rescanning the whole task set.
+  const bool timed = params_.phase_timers;
+  double t0 = 0.0;
   std::vector<std::size_t> dirty;
   for (const std::uint32_t pos : visit_order) {
+    if (timed) t0 = mono_seconds();
     model::User& u = world_.users()[pos];
     // Mobility advances for every user, dropped or not (the worker is
     // somewhere that round; they just do not work) — fault draws therefore
@@ -209,7 +224,9 @@ void Simulator::run_sessions_intra_round(
     u.set_location(
         mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
 
-    if (faults_.enabled() && faults_.drop_user(u.id(), k)) {
+    const bool drop = faults_.enabled() && faults_.drop_user(u.id(), k);
+    if (timed) phase_.prepass += mono_seconds() - t0;
+    if (drop) {
       // Offline this round: no session (so intra-round mechanisms see no
       // repricing event either), no travel, zero profit. The dirty set
       // carries over to the next surviving session.
@@ -217,6 +234,7 @@ void Simulator::run_sessions_intra_round(
       continue;
     }
 
+    if (timed) t0 = mono_seconds();
     mechanism_->reprice(world_, k, dirty);
     dirty.clear();
     // What this session was actually offered: the round's open tasks at
@@ -234,13 +252,22 @@ void Simulator::run_sessions_intra_round(
       session_mean_sum += session_sum / session_open;
       ++priced_sessions;
     }
+    if (timed) {
+      phase_.reprice += mono_seconds() - t0;
+      t0 = mono_seconds();
+    }
 
     const select::SelectionInstance inst = make_instance(
         world_, *mechanism_, u, open, pool, u.location(), u.time_budget());
     const select::Selection sel = selector_->select(inst);
     MCS_ASSERT(select::is_feasible(inst, sel),
                "selector returned an infeasible tour");
+    if (timed) {
+      phase_.plan += mono_seconds() - t0;
+      t0 = mono_seconds();
+    }
     commit_session(k, u, pos, sel, rm, &dirty);
+    if (timed) phase_.commit += mono_seconds() - t0;
   }
 }
 
@@ -306,6 +333,8 @@ void Simulator::run_sessions_planned(
     const std::shared_ptr<const select::CandidatePool>& pool,
     const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm) {
   const std::size_t n_users = world_.num_users();
+  const bool timed = params_.phase_timers;
+  double t0 = timed ? mono_seconds() : 0.0;
 
   // Serial pre-pass in visit order: the mobility rng is one sequential
   // stream, so its draws must happen user-by-user exactly as the serial
@@ -317,6 +346,10 @@ void Simulator::run_sessions_planned(
     u.set_location(
         mobility_->start_of_round(u, k, world_.area(), mobility_rng_));
     if (faults_.enabled() && faults_.drop_user(u.id(), k)) dropped[pos] = 1;
+  }
+  if (timed) {
+    phase_.prepass += mono_seconds() - t0;
+    t0 = mono_seconds();
   }
 
   std::vector<select::Selection> plans(n_users);
@@ -387,6 +420,10 @@ void Simulator::run_sessions_planned(
     }
     solve_positions(fallback, open, pool, plans, feasible);
   }
+  if (timed) {
+    phase_.plan += mono_seconds() - t0;
+    t0 = mono_seconds();
+  }
 
   // Commit phase: serial, in the round's shuffled visit order — payments,
   // deliveries, events and the remaining fault draws (abandonment, upload
@@ -400,15 +437,314 @@ void Simulator::run_sessions_planned(
     commit_session(k, world_.users()[pos], pos, plans[pos], rm,
                    /*dirty=*/nullptr);
   }
+  if (timed) phase_.commit += mono_seconds() - t0;
+}
+
+int Simulator::shard_worker_count() const {
+  return params_.shards == SimulatorParams::kAutoShards
+             ? resolve_threads(0)
+             : params_.shards;
+}
+
+Meters Simulator::shard_cell_size() const {
+  const geo::BoundingBox& a = world_.area();
+  return std::max(std::max(a.width(), a.height()) / 64.0, 1e-3);
+}
+
+bool Simulator::run_sessions_sharded(
+    Round k, const std::vector<bool>& open,
+    const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm) {
+  const int workers = std::max(shard_worker_count(), 1);
+  const bool pooled_workers = workers > 1;
+  if (pooled_workers && !ensure_plan_workers(workers)) {
+    return false;  // selector predates clone(): take the legacy loop
+  }
+
+  const std::size_t n_users = world_.num_users();
+  const std::size_t n_tasks = world_.num_tasks();
+  const model::UserStore& us = world_.user_store();
+  const model::TaskStore& ts = world_.task_store();
+  const bool timed = params_.phase_timers;
+  double t0 = timed ? mono_seconds() : 0.0;
+
+  // --- Pre-pass: mobility and dropout over disjoint position ranges. Each
+  // user's draws come from a private counter-based substream seeded from
+  // (order_seed, round, position), so the result is a pure per-user
+  // function — independent of execution order and worker count. Static
+  // models (static-home, commute) draw nothing and land exactly where the
+  // legacy serial stream puts them; stochastic models follow a different
+  // but equally valid trajectory, still invariant across shard counts.
+  // Mobility models must be stateless under concurrent calls (all shipped
+  // ones are); dropout draws are stateless hashes already.
+  shard_dropped_.assign(n_users, 0);
+  const std::uint64_t round_base =
+      hash_combine(mix64(params_.order_seed ^ 0x5ba9d0c4f1e2a687ULL),
+                   static_cast<std::uint64_t>(k));
+  const auto prepass_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      model::User& u = world_.users()[pos];
+      Rng rng(hash_combine(round_base, static_cast<std::uint64_t>(pos)));
+      u.set_location(mobility_->start_of_round(u, k, world_.area(), rng));
+      if (faults_.enabled() && faults_.drop_user(u.id(), k)) {
+        shard_dropped_[pos] = 1;
+      }
+    }
+  };
+  if (pooled_workers && n_users > 1) {
+    const std::size_t chunk =
+        (n_users + static_cast<std::size_t>(workers) - 1) /
+        static_cast<std::size_t>(workers);
+    for (int w = 0; w < workers; ++w) {
+      const std::size_t lo =
+          std::min(n_users, static_cast<std::size_t>(w) * chunk);
+      const std::size_t hi = std::min(n_users, lo + chunk);
+      if (lo < hi) plan_pool_->submit([&prepass_range, lo, hi] {
+        prepass_range(lo, hi);
+      });
+    }
+    plan_pool_->wait_idle();
+  } else {
+    prepass_range(0, n_users);
+  }
+
+  // --- Shard index: bucket users by the grid cell of their round-start
+  // location (CSR layout; within a cell users keep ascending position, so
+  // per-cell processing order is shard-count-invariant).
+  const Meters cell = shard_cell_size();
+  const geo::BoundingBox& area = world_.area();
+  const int nx = std::max(1, static_cast<int>(std::ceil(area.width() / cell)));
+  const int ny = std::max(1, static_cast<int>(std::ceil(area.height() / cell)));
+  const std::size_t n_cells =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  const auto cell_of = [&](geo::Point p) {
+    const int cx = std::clamp(static_cast<int>((p.x - area.lo.x) / cell), 0,
+                              nx - 1);
+    const int cy = std::clamp(static_cast<int>((p.y - area.lo.y) / cell), 0,
+                              ny - 1);
+    return static_cast<std::uint32_t>(cy) * static_cast<std::uint32_t>(nx) +
+           static_cast<std::uint32_t>(cx);
+  };
+  shard_cell_of_.resize(n_users);
+  shard_cell_start_.assign(n_cells + 1, 0);
+  for (std::size_t pos = 0; pos < n_users; ++pos) {
+    const std::uint32_t c = cell_of(us.location[pos]);
+    shard_cell_of_[pos] = c;
+    ++shard_cell_start_[c + 1];
+  }
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    shard_cell_start_[c + 1] += shard_cell_start_[c];
+  }
+  shard_users_.resize(n_users);
+  {
+    std::vector<std::uint32_t> fill(shard_cell_start_.begin(),
+                                    shard_cell_start_.end() - 1);
+    for (std::size_t pos = 0; pos < n_users; ++pos) {
+      shard_users_[fill[shard_cell_of_[pos]]++] =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+
+  // --- Frozen round state: prices cached per task position (one virtual
+  // call per open task instead of one per candidate per user) and a spatial
+  // index over the open tasks for reach-local candidate gathering.
+  shard_reward_.assign(n_tasks, 0.0);
+  geo::SpatialGrid task_grid(area, cell);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    if (!open[i]) continue;
+    const Money r = mechanism_->reward(ts.id[i]);
+    if (r <= 0.0) continue;
+    shard_reward_[i] = r;
+    task_grid.insert(static_cast<std::int32_t>(i), ts.location[i]);
+  }
+  if (timed) {
+    phase_.prepass += mono_seconds() - t0;
+    t0 = mono_seconds();
+  }
+
+  // --- Plan phase: contiguous cell ranges per worker. Every candidate list
+  // is make_instance's (open, not contributed, priced, ascending task
+  // position) minus the tasks beyond the user's travel-distance budget —
+  // filtered with the exact predicate the DP front-end prunes with, after
+  // an inflated-radius grid query that can only over-collect. The grid's
+  // squared-distance hit test and the sqrt-based predicate round
+  // differently within an ulp, hence the slack; the exact filter then
+  // decides membership.
+  shard_plans_.assign(n_users, select::Selection{});
+  shard_feasible_.assign(n_users, 1);
+  const bool memo_on = params_.memo.enabled;
+  if (memo_on &&
+      shard_memos_.size() != static_cast<std::size_t>(workers)) {
+    shard_memos_.clear();
+    for (int w = 0; w < workers; ++w) {
+      shard_memos_.push_back(
+          std::make_unique<select::PlanMemo>(params_.memo));
+    }
+  }
+  const int exact_limit = selector_->exact_candidate_limit();
+
+  const auto plan_cells = [&](int w, std::uint32_t c_lo, std::uint32_t c_hi) {
+    const select::TaskSelector& solver =
+        pooled_workers ? *plan_selectors_[static_cast<std::size_t>(w)]
+                       : *selector_;
+    select::PlanMemo* memo =
+        memo_on ? shard_memos_[static_cast<std::size_t>(w)].get() : nullptr;
+    std::vector<std::int32_t> hits;
+    select::SelectionInstance inst;
+    inst.travel = world_.travel();
+    for (std::uint32_t c = c_lo; c < c_hi; ++c) {
+      const std::uint32_t u_lo = shard_cell_start_[c];
+      const std::uint32_t u_hi = shard_cell_start_[c + 1];
+      if (u_lo == u_hi) continue;
+      // One memo table per cell: the table contents depend only on the
+      // cell's users (processed in position order), never on which worker
+      // owns the cell — hits, misses and plans are shard-count-invariant.
+      if (memo != nullptr) memo->begin_cell();
+      for (std::uint32_t idx = u_lo; idx < u_hi; ++idx) {
+        const std::uint32_t pos = shard_users_[idx];
+        if (shard_dropped_[pos] != 0) continue;
+        const model::User& u = world_.users()[pos];
+        inst.start = us.location[pos];
+        inst.time_budget = us.time_budget[pos];
+        inst.candidates.clear();
+        const Meters reach = inst.distance_budget();
+        hits.clear();
+        task_grid.for_each_in_radius(
+            inst.start, reach * (1.0 + 1e-12) + 1e-9,
+            [&hits](std::int32_t t) { hits.push_back(t); });
+        std::sort(hits.begin(), hits.end());
+        for (const std::int32_t t : hits) {
+          const auto ti = static_cast<std::size_t>(t);
+          if (geo::euclidean(inst.start, ts.location[ti]) > reach) continue;
+          if (u.has_contributed(ts.id[ti])) continue;
+          inst.candidates.push_back(
+              {ts.id[ti], ts.location[ti], shard_reward_[ti]});
+        }
+        if (memo == nullptr) {
+          shard_plans_[pos] = solver.select(inst);
+          shard_feasible_[pos] =
+              select::is_feasible(inst, shard_plans_[pos]) ? 1 : 0;
+          continue;
+        }
+        // Single-pass memo: the owner of every class precedes its hits in
+        // position order within the cell, so classify/solve/publish can
+        // interleave without the legacy loop's phase barriers.
+        const select::PlanMemo::Ticket ticket =
+            memo->classify(inst, exact_limit);
+        switch (ticket.outcome) {
+          case select::PlanMemo::Outcome::kOwner: {
+            shard_plans_[pos] = solver.select(inst);
+            shard_feasible_[pos] =
+                select::is_feasible(inst, shard_plans_[pos]) ? 1 : 0;
+            memo->publish(ticket, shard_plans_[pos],
+                          shard_feasible_[pos] != 0);
+            break;
+          }
+          case select::PlanMemo::Outcome::kExactHit:
+            shard_plans_[pos] = memo->cached_plan(ticket);
+            shard_feasible_[pos] = memo->cached_feasible(ticket) ? 1 : 0;
+            break;
+          case select::PlanMemo::Outcome::kPending: {
+            const select::Selection* cached = nullptr;
+            if (memo->resolve(ticket, &cached)) {
+              shard_plans_[pos] = *cached;  // the proven empty tour
+              shard_feasible_[pos] = 1;
+            } else {
+              shard_plans_[pos] = solver.select(inst);
+              shard_feasible_[pos] =
+                  select::is_feasible(inst, shard_plans_[pos]) ? 1 : 0;
+            }
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  if (pooled_workers) {
+    // Contiguous cell ranges balanced by user count (any partition yields
+    // the same campaign; balance only affects wall clock).
+    std::vector<std::uint32_t> bounds(static_cast<std::size_t>(workers) + 1,
+                                      0);
+    bounds[static_cast<std::size_t>(workers)] =
+        static_cast<std::uint32_t>(n_cells);
+    std::uint32_t c = 0;
+    for (int w = 1; w < workers; ++w) {
+      const std::size_t target =
+          static_cast<std::size_t>(w) * n_users /
+          static_cast<std::size_t>(workers);
+      while (c < n_cells && shard_cell_start_[c] < target) ++c;
+      bounds[static_cast<std::size_t>(w)] = c;
+    }
+    for (int w = 0; w < workers; ++w) {
+      const std::uint32_t lo = bounds[static_cast<std::size_t>(w)];
+      const std::uint32_t hi = bounds[static_cast<std::size_t>(w) + 1];
+      if (lo < hi) plan_pool_->submit([&plan_cells, w, lo, hi] {
+        plan_cells(w, lo, hi);
+      });
+    }
+    plan_pool_->wait_idle();
+  } else {
+    plan_cells(0, 0, static_cast<std::uint32_t>(n_cells));
+  }
+
+  if (memo_on) {
+    // Harvest the workers' counters into the campaign aggregate. Counts are
+    // summed, so the result does not depend on which worker owned which
+    // cell; rounds advances once per sharded round.
+    select::PlanMemoStats agg = plan_memo_.stats();
+    ++agg.rounds;
+    for (const auto& m : shard_memos_) {
+      const select::PlanMemoStats& s = m->stats();
+      agg.exact_hits += s.exact_hits;
+      agg.fixup_hits += s.fixup_hits;
+      agg.misses += s.misses;
+      agg.fallbacks += s.fallbacks;
+      m->reset_stats();
+    }
+    plan_memo_.restore_stats(agg);
+  }
+  if (timed) {
+    phase_.plan += mono_seconds() - t0;
+    t0 = mono_seconds();
+  }
+
+  // --- Commit: serial, in the round's shuffled visit order — identical to
+  // the legacy loops.
+  for (const std::uint32_t pos : visit_order) {
+    if (shard_dropped_[pos] != 0) {
+      ++rm.dropped_users;
+      continue;
+    }
+    MCS_ASSERT(shard_feasible_[pos] != 0,
+               "selector returned an infeasible tour");
+    commit_session(k, world_.users()[pos], pos, shard_plans_[pos], rm,
+                   /*dirty=*/nullptr);
+  }
+  if (timed) phase_.commit += mono_seconds() - t0;
+  return true;
 }
 
 const RoundMetrics& Simulator::step() {
   MCS_CHECK(next_round_ <= params_.max_rounds, "campaign already over");
   const Round k = next_round_;
   const bool intra_round = mechanism_->updates_within_round();
+  const bool want_sharded = !intra_round && params_.shards != 0;
+  const bool timed = params_.phase_timers;
+
+  // Sharded rounds front-load the neighbor-cache rebuild (the mechanism's
+  // first demand query would otherwise pay it serially): a no-op unless a
+  // rebuild is due, and integer-exact either way.
+  if (want_sharded) {
+    const int w = shard_worker_count();
+    if (w > 1 && ensure_plan_workers(w)) {
+      world_.warm_neighbor_cache(*plan_pool_, w);
+    }
+  }
 
   // (1)+(2) Platform updates and publishes rewards for round k.
+  double t0 = timed ? mono_seconds() : 0.0;
   mechanism_->update_rewards(world_, k);
+  if (timed) phase_.reprice += mono_seconds() - t0;
 
   // Which tasks are open when the round begins. For round-granularity
   // mechanisms, selections are made against this snapshot and every
@@ -435,9 +771,6 @@ const RoundMetrics& Simulator::step() {
   }
   if (rm.open_tasks > 0) rm.mean_open_reward /= rm.open_tasks;
 
-  // Shared geometry for every selection instance of this round.
-  const auto pool = build_round_pool(world_, *mechanism_, open);
-
   // Intra-round price recording: mean published price per user session,
   // averaged over the sessions that had at least one priced task.
   double session_mean_sum = 0.0;
@@ -456,12 +789,17 @@ const RoundMetrics& Simulator::step() {
                 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(k));
   order_rng.shuffle(visit_order);
 
-  // (3)+(4) Every user selects and performs a task set.
-  if (intra_round) {
-    run_sessions_intra_round(k, open, pool, visit_order, rm,
-                             session_mean_sum, priced_sessions);
-  } else {
-    run_sessions_planned(k, open, pool, visit_order, rm);
+  // (3)+(4) Every user selects and performs a task set. The sharded loop
+  // gathers candidates from a spatial index, so only the legacy paths pay
+  // for the dense O(open^2) CandidatePool.
+  if (!want_sharded || !run_sessions_sharded(k, open, visit_order, rm)) {
+    const auto pool = build_round_pool(world_, *mechanism_, open);
+    if (intra_round) {
+      run_sessions_intra_round(k, open, pool, visit_order, rm,
+                               session_mean_sum, priced_sessions);
+    } else {
+      run_sessions_planned(k, open, pool, visit_order, rm);
+    }
   }
 
   // For intra-round mechanisms the round-start snapshot is not what users
@@ -508,6 +846,10 @@ CampaignMetrics Simulator::summary() const {
   m.plan_fixup_hits = memo.fixup_hits;
   m.plan_misses = memo.misses;
   m.plan_fallbacks = memo.fallbacks;
+  m.phase_prepass_s = phase_.prepass;
+  m.phase_plan_s = phase_.plan;
+  m.phase_reprice_s = phase_.reprice;
+  m.phase_commit_s = phase_.commit;
   return m;
 }
 

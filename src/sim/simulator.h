@@ -54,6 +54,32 @@ struct SimulatorParams {
   // serially regardless of this knob. Requires the selector to support
   // clone(); selectors without it fall back to serial planning.
   int plan_threads = 1;
+  // Spatially sharded round execution for round-granularity mechanisms
+  // (updates_within_round() == false). 0 = the legacy round loop (default);
+  // n >= 1 = sharded with exactly n workers; kAutoShards = one worker per
+  // hardware thread. The sharded loop partitions users by the SpatialGrid
+  // cell of their round-start location, runs mobility/dropout and the
+  // per-user planning per shard on the plan workers, and commits serially
+  // in visit order. It never builds the dense CandidatePool (per-user
+  // candidates come from a spatial index over the open tasks, filtered by
+  // the exact reach predicate the DP front-end prunes with), which is what
+  // makes 10^6-user / 10^5-task rounds tractable. Campaigns are
+  // bit-identical at any shard count (pinned by the shard-equivalence
+  // suite); versus the legacy loop they are bit-identical whenever the
+  // selector's output is invariant under dropping candidates beyond the
+  // travel-distance budget (DP by construction, greedy by the triangle
+  // inequality — both pinned) and mobility draws no randomness
+  // (static-home, commute). Stochastic mobility uses per-user hash-seeded
+  // substreams instead of the serial draw stream: a different but equally
+  // valid trajectory, still invariant across shard counts. Intra-round
+  // mechanisms ignore this knob, and selectors without clone() fall back
+  // to the legacy loop (exactly like plan_threads).
+  int shards = 0;
+  static constexpr int kAutoShards = -1;
+  // Record cumulative wall-clock seconds of the round phases (pre-pass /
+  // plan / reprice / commit) into CampaignMetrics. Off by default: the
+  // timer reads are cheap but nonzero, and the fields are diagnostics.
+  bool phase_timers = false;
   // Cross-user plan memoization for the planning phase (select/plan_memo.h):
   // users of one round whose selection instances are provably equivalent
   // share one solve. Off by default; when memo.enabled the campaign stays
@@ -160,6 +186,23 @@ class Simulator {
       const std::shared_ptr<const select::CandidatePool>& pool,
       const std::vector<std::uint32_t>& visit_order, RoundMetrics& rm);
 
+  /// Sharded session loop (SimulatorParams::shards): pre-pass and planning
+  /// fan out over spatial shards, commit stays serial in visit order.
+  /// Returns false when the selector cannot clone() — the caller then
+  /// builds the round pool and takes the legacy planned path.
+  bool run_sessions_sharded(Round k, const std::vector<bool>& open,
+                            const std::vector<std::uint32_t>& visit_order,
+                            RoundMetrics& rm);
+
+  /// Shard worker count per SimulatorParams::shards (kAutoShards resolves
+  /// to the hardware concurrency).
+  int shard_worker_count() const;
+
+  /// Side length of the spatial shard cells: area-derived (longest side /
+  /// 64), so the partition — and with it every per-cell memo table — is a
+  /// pure function of the world geometry, never of the worker count.
+  Meters shard_cell_size() const;
+
   /// Walk user `pos`'s planned tour: abandonment/upload fault draws,
   /// deliveries, payments, event records and the user's profit row. When
   /// `dirty` is non-null, the positions of tasks that gained a measurement
@@ -200,6 +243,25 @@ class Simulator {
   // Cross-user plan memo (params_.memo); table rebuilt per round, stats
   // cumulative over the campaign.
   select::PlanMemo plan_memo_;
+  // Sharded-loop state: one poolless PlanMemo per shard worker (tables are
+  // per-cell, stats harvested into plan_memo_ each round) plus persistent
+  // scratch so the steady state stays allocation-free.
+  std::vector<std::unique_ptr<select::PlanMemo>> shard_memos_;
+  std::vector<char> shard_dropped_;            // per user position, per round
+  std::vector<std::uint32_t> shard_cell_of_;   // cell id per user position
+  std::vector<std::uint32_t> shard_cell_start_;  // CSR offsets, n_cells + 1
+  std::vector<std::uint32_t> shard_users_;     // positions grouped by cell
+  std::vector<Money> shard_reward_;            // round-start price per task
+  std::vector<select::Selection> shard_plans_;
+  std::vector<char> shard_feasible_;
+  // Cumulative phase timers (params_.phase_timers; see CampaignMetrics).
+  struct PhaseSeconds {
+    double prepass = 0.0;
+    double plan = 0.0;
+    double reprice = 0.0;
+    double commit = 0.0;
+  };
+  PhaseSeconds phase_;
 };
 
 }  // namespace mcs::sim

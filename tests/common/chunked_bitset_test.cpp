@@ -1,0 +1,126 @@
+// ChunkedBitset backs User::contributed_ / Task::contributors_ in the SoA
+// world: sparse 256-bit chunks, sorted by base, exact equality. The suite
+// hammers the chunk-boundary arithmetic (word 0..3 edges, bit 63/64 edges)
+// and the out-of-order insertion path the sorted invariant depends on.
+#include "common/chunked_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mcs {
+namespace {
+
+TEST(ChunkedBitset, StartsEmpty) {
+  ChunkedBitset b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(12345));
+}
+
+TEST(ChunkedBitset, SetReportsNewVsDuplicate) {
+  ChunkedBitset b;
+  EXPECT_TRUE(b.set(17));
+  EXPECT_FALSE(b.set(17));
+  EXPECT_TRUE(b.test(17));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(ChunkedBitset, ChunkAndWordBoundaries) {
+  // Every edge of the chunk layout: word boundaries within a chunk (63/64,
+  // 127/128, 191/192), the chunk boundary itself (255/256), and the
+  // neighbours of each — membership must be exact on both sides.
+  const std::int64_t edges[] = {0,   1,   62,  63,  64,  65,  127, 128,
+                                191, 192, 254, 255, 256, 257, 511, 512};
+  ChunkedBitset b;
+  for (const std::int64_t v : edges) EXPECT_TRUE(b.set(v)) << v;
+  for (const std::int64_t v : edges) EXPECT_TRUE(b.test(v)) << v;
+  // Values adjacent to the set ones but not in the list stay clear.
+  EXPECT_FALSE(b.test(2));
+  EXPECT_FALSE(b.test(61));
+  EXPECT_FALSE(b.test(66));
+  EXPECT_FALSE(b.test(126));
+  EXPECT_FALSE(b.test(190));
+  EXPECT_FALSE(b.test(253));
+  EXPECT_FALSE(b.test(258));
+  EXPECT_FALSE(b.test(510));
+  EXPECT_FALSE(b.test(513));
+  EXPECT_EQ(b.count(), std::size(edges));
+}
+
+TEST(ChunkedBitset, OutOfOrderInsertKeepsSortedIteration) {
+  // Descending and interleaved inserts exercise the mid-vector chunk
+  // insertion; for_each must still walk ascending.
+  ChunkedBitset b;
+  const std::vector<std::int64_t> values = {100000, 5, 70000, 300, 6,
+                                            99999,  0, 256,   255};
+  for (const std::int64_t v : values) EXPECT_TRUE(b.set(v));
+  std::vector<std::int64_t> seen;
+  b.for_each([&](std::int64_t v) { seen.push_back(v); });
+  std::vector<std::int64_t> want = values;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ChunkedBitset, EqualityIsContentBased) {
+  ChunkedBitset a, b;
+  // Same content, different insertion orders.
+  for (const std::int64_t v : {9, 1000, 42}) a.set(v);
+  for (const std::int64_t v : {42, 9, 1000}) b.set(v);
+  EXPECT_TRUE(a == b);
+  b.set(7);
+  EXPECT_FALSE(a == b);
+  a.set(7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ChunkedBitset, ClearResets) {
+  ChunkedBitset b;
+  for (std::int64_t v = 0; v < 1000; v += 37) b.set(v);
+  EXPECT_FALSE(b.empty());
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_EQ(b, ChunkedBitset{});
+}
+
+TEST(ChunkedBitset, NegativeTestIsFalseNegativeSetThrows) {
+  ChunkedBitset b;
+  EXPECT_FALSE(b.test(-1));  // ids start at 0; a miss, not an error
+  EXPECT_THROW(b.set(-1), Error);
+  EXPECT_THROW(b.set(0x100000000ll), Error);
+  EXPECT_NO_THROW(b.set(0xffffffffll));  // the top of the id range is valid
+  EXPECT_TRUE(b.test(0xffffffffll));
+}
+
+TEST(ChunkedBitset, RandomizedAgainstStdSet) {
+  // Reference-model fuzz: 4000 operations mirrored into std::set, then the
+  // full membership picture and iteration order must agree.
+  std::mt19937_64 rng(20260809);
+  std::uniform_int_distribution<std::int64_t> value(0, 1 << 20);
+  ChunkedBitset b;
+  std::set<std::int64_t> ref;
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t v = value(rng);
+    EXPECT_EQ(b.set(v), ref.insert(v).second) << v;
+  }
+  EXPECT_EQ(b.count(), ref.size());
+  std::vector<std::int64_t> seen;
+  b.for_each([&](std::int64_t v) { seen.push_back(v); });
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ref.begin(), ref.end()));
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = value(rng);
+    EXPECT_EQ(b.test(v), ref.count(v) != 0) << v;
+  }
+}
+
+}  // namespace
+}  // namespace mcs

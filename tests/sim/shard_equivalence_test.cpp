@@ -1,0 +1,365 @@
+// The sharded round loop's contract (SimulatorParams::shards): campaigns
+// are bit-identical at any shard count — and, for static mobility with the
+// shipped DP/greedy selectors, bit-identical to the legacy round loop too
+// (the sharded candidate gather drops only tasks beyond the travel-distance
+// budget, using the exact predicate the DP front-end prunes with). Runs
+// under TSan in tier-1: the sharded pre-pass and plan phase are concurrent
+// regions over the world's stores.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "incentive/mechanism.h"
+#include "model/world.h"
+#include "select/plan_memo.h"
+#include "select/selector.h"
+#include "sim/checkpoint.h"
+#include "sim/mobility.h"
+#include "sim/scenario.h"
+#include "sim/serialize.h"
+#include "sim/simulator.h"
+
+namespace mcs::sim {
+namespace {
+
+FaultPlan stress_faults() {
+  FaultPlan f;
+  f.dropout_prob = 0.15;
+  f.abandon_prob = 0.2;
+  f.upload_loss_prob = 0.1;
+  f.seed = 7;
+  return f;
+}
+
+struct RunKnobs {
+  incentive::MechanismKind kind = incentive::MechanismKind::kOnDemand;
+  select::SelectorKind selector = select::SelectorKind::kDp;
+  bool faults = false;
+  bool memo = false;
+  int shards = 0;
+  MobilityKind mobility = MobilityKind::kStaticHome;
+  // Dense home sites + budget quantum give the memo real equivalence
+  // classes when enabled.
+  int home_sites = 0;
+  Seconds budget_quantum = 0.0;
+};
+
+ScenarioParams scenario(const RunKnobs& k) {
+  ScenarioParams p;
+  p.num_users = 30;
+  p.num_tasks = 12;
+  p.required_measurements = 6;
+  p.home_sites = k.home_sites;
+  p.user_budget_quantum_s = k.budget_quantum;
+  return p;
+}
+
+struct CampaignRun {
+  std::vector<RoundMetrics> rounds;
+  Money spent = 0.0;
+  std::string world_json;
+  select::PlanMemoStats memo_stats;
+};
+
+Simulator make_simulator(const RunKnobs& k) {
+  Rng rng(4242);
+  model::World world = generate_world(scenario(k), rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mechanism = incentive::make_mechanism(k.kind, world, {}, mech_rng);
+  auto selector = select::make_selector(k.selector, 14);
+  SimulatorParams sp;
+  sp.max_rounds = 8;
+  sp.shards = k.shards;
+  sp.memo.enabled = k.memo;
+  if (k.faults) sp.faults = stress_faults();
+  return Simulator(std::move(world), std::move(mechanism),
+                   std::move(selector), sp,
+                   make_mobility(k.mobility, /*drift_sigma=*/150.0));
+}
+
+CampaignRun finish(const Simulator& s) {
+  CampaignRun out;
+  out.rounds = s.history();
+  out.spent = s.budget().spent();
+  out.world_json = world_to_json(s.world()).dump(2);
+  out.memo_stats = s.plan_memo_stats();
+  return out;
+}
+
+CampaignRun run_campaign(RunKnobs k) {
+  Simulator s = make_simulator(k);
+  s.run();
+  return finish(s);
+}
+
+void expect_bit_identical(const CampaignRun& a, const CampaignRun& b) {
+  // The serialized end world catches every task/user divergence byte for
+  // byte; the round histories catch ordering/accounting divergences.
+  EXPECT_EQ(a.world_json, b.world_json);
+  EXPECT_EQ(a.spent, b.spent);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t k = 0; k < a.rounds.size(); ++k) {
+    EXPECT_EQ(rounds_to_json({a.rounds[k]}).dump(),
+              rounds_to_json({b.rounds[k]}).dump())
+        << "round " << k;
+  }
+}
+
+void expect_same_memo_stats(const CampaignRun& a, const CampaignRun& b) {
+  EXPECT_EQ(a.memo_stats.exact_hits, b.memo_stats.exact_hits);
+  EXPECT_EQ(a.memo_stats.fixup_hits, b.memo_stats.fixup_hits);
+  EXPECT_EQ(a.memo_stats.misses, b.memo_stats.misses);
+  EXPECT_EQ(a.memo_stats.fallbacks, b.memo_stats.fallbacks);
+  EXPECT_EQ(a.memo_stats.rounds, b.memo_stats.rounds);
+}
+
+// {fixed, on-demand, steered} x {clean, faulted} x shards {1, 2, 8, auto}
+// against the legacy shards = 0 loop, DP selector, static-home mobility.
+// Steered is intra-round (the knob is a documented no-op there) and pins
+// exactly that.
+TEST(ShardEquivalence, ShardCountsMatchLegacyLoopBitIdentical) {
+  for (const auto kind :
+       {incentive::MechanismKind::kFixed, incentive::MechanismKind::kOnDemand,
+        incentive::MechanismKind::kSteered}) {
+    for (const bool faults : {false, true}) {
+      RunKnobs base;
+      base.kind = kind;
+      base.faults = faults;
+      const CampaignRun legacy = run_campaign(base);
+      for (const int shards : {1, 2, 8, SimulatorParams::kAutoShards}) {
+        SCOPED_TRACE(std::string(incentive::mechanism_name(kind)) +
+                     (faults ? "/faults" : "/clean") + "/shards=" +
+                     std::to_string(shards));
+        RunKnobs k = base;
+        k.shards = shards;
+        expect_bit_identical(legacy, run_campaign(k));
+      }
+    }
+  }
+}
+
+// The greedy selector never picks a candidate beyond the travel-distance
+// budget (the first leg is checked directly, later legs by the triangle
+// inequality), so the sharded reach filter is invisible to it too.
+TEST(ShardEquivalence, GreedySelectorShardedMatchesLegacy) {
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "faults" : "clean");
+    RunKnobs k;
+    k.selector = select::SelectorKind::kGreedy;
+    k.faults = faults;
+    const CampaignRun legacy = run_campaign(k);
+    k.shards = 4;
+    expect_bit_identical(legacy, run_campaign(k));
+  }
+}
+
+// Memo on: the per-cell tables depend only on the world geometry (cell
+// partition) and per-cell position order, never on the worker count — so
+// plans AND hit/miss accounting are shard-count-invariant. The trajectory
+// also matches the legacy memo-free run (the memo is proof-gated either
+// way); only the stats differ between per-round and per-cell tables.
+TEST(ShardEquivalence, MemoShardCountInvariantIncludingStats) {
+  RunKnobs k;
+  k.memo = true;
+  k.home_sites = 6;
+  k.budget_quantum = 300.0;
+  k.shards = 1;
+  const CampaignRun one = run_campaign(k);
+  EXPECT_GT(one.memo_stats.lookups(), 0);
+  for (const int shards : {2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    k.shards = shards;
+    const CampaignRun many = run_campaign(k);
+    expect_bit_identical(one, many);
+    expect_same_memo_stats(one, many);
+  }
+  RunKnobs legacy = k;
+  legacy.shards = 0;
+  legacy.memo = false;
+  expect_bit_identical(run_campaign(legacy), one);
+}
+
+// Stochastic mobility draws per-user substreams in sharded mode (a
+// different trajectory from the legacy serial stream, by design), but the
+// substreams are pure functions of (seed, round, position): any two shard
+// counts walk the exact same campaign.
+TEST(ShardEquivalence, StochasticMobilityShardCountInvariant) {
+  for (const auto mobility :
+       {MobilityKind::kGaussianDrift, MobilityKind::kRandomWaypoint}) {
+    SCOPED_TRACE(mobility_name(mobility));
+    RunKnobs k;
+    k.mobility = mobility;
+    k.faults = true;
+    k.shards = 1;
+    const CampaignRun one = run_campaign(k);
+    k.shards = 8;
+    expect_bit_identical(one, run_campaign(k));
+  }
+}
+
+// Commute mobility is deterministic (no draws), so sharded must also match
+// the legacy loop exactly — the substream seeding is bit-invisible.
+TEST(ShardEquivalence, CommuteMobilityShardedMatchesLegacy) {
+  RunKnobs k;
+  k.mobility = MobilityKind::kCommute;
+  const CampaignRun legacy = run_campaign(k);
+  k.shards = 4;
+  expect_bit_identical(legacy, run_campaign(k));
+}
+
+// Sparse user ids through the sharded loop: ids {70, 10, 55} on a 3-user
+// world force every piece of shard bookkeeping (cell scatter, substream
+// seeding, profit rows, dropped flags) to index by *position*, never by id.
+// Task ids stay dense — the incentive layer sizes its reward table by task
+// count but indexes it by id, a repo-wide dense-task-id convention for
+// campaigns (sparse task ids are pinned in the storage round-trip below).
+TEST(ShardEquivalence, SparseUserIdsShardedMatchesLegacy) {
+  const auto build_world = [] {
+    geo::BoundingBox area{{0.0, 0.0}, {1000.0, 1000.0}};
+    model::World world(area, geo::TravelModel{2.0, 0.002}, 500.0);
+    world.add_task({100.0, 100.0}, /*deadline=*/5, /*required=*/2);
+    world.add_task({900.0, 900.0}, 5, 2);
+    world.add_task({500.0, 480.0}, 5, 2);
+    world.users().emplace_back(UserId{70}, geo::Point{120.0, 120.0}, 900.0);
+    world.users().emplace_back(UserId{10}, geo::Point{880.0, 880.0}, 900.0);
+    world.users().emplace_back(UserId{55}, geo::Point{500.0, 500.0}, 900.0);
+    for (model::User& u : world.users()) u.return_home();
+    return world;
+  };
+  const auto run = [&](int shards) {
+    model::World world = build_world();
+    Rng mech_rng(1);
+    auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                          world, {}, mech_rng);
+    auto selector = select::make_selector(select::SelectorKind::kDp, 14);
+    SimulatorParams sp;
+    sp.max_rounds = 4;
+    sp.shards = shards;
+    Simulator s(std::move(world), std::move(mech), std::move(selector), sp);
+    s.run();
+    return finish(s);
+  };
+  const CampaignRun legacy = run(0);
+  EXPECT_GT(legacy.spent, 0.0);
+  for (const int shards : {1, 2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_bit_identical(legacy, run(shards));
+  }
+}
+
+// Sparse task AND user ids through the SoA stores and the checkpoint's
+// world payload: task ids {10, 20, 31} / user ids {70, 10, 55} with
+// contributions recorded into the chunked bitsets must survive
+// world_to_json -> world_from_json byte for byte, with membership intact.
+TEST(ShardEquivalence, SparseIdsSoAStorageSerializationRoundTrip) {
+  geo::BoundingBox area{{0.0, 0.0}, {1000.0, 1000.0}};
+  model::World world(area, geo::TravelModel{2.0, 0.002}, 500.0);
+  world.tasks().emplace_back(TaskId{10}, geo::Point{100.0, 100.0},
+                             /*deadline=*/5, /*required=*/2);
+  world.tasks().emplace_back(TaskId{20}, geo::Point{900.0, 900.0}, 5, 2);
+  world.tasks().emplace_back(TaskId{31}, geo::Point{500.0, 480.0}, 5, 2);
+  world.users().emplace_back(UserId{70}, geo::Point{120.0, 120.0}, 900.0);
+  world.users().emplace_back(UserId{10}, geo::Point{880.0, 880.0}, 900.0);
+  world.users().emplace_back(UserId{55}, geo::Point{500.0, 500.0}, 900.0);
+  for (model::User& u : world.users()) u.return_home();
+  // The snapshot format derives contributed sets from the task measurement
+  // lists, so marks and measurements must agree.
+  world.users()[0].mark_contributed(TaskId{31});
+  world.tasks()[2].add_measurement(UserId{70}, /*round=*/1,
+                                   /*reward_paid=*/3.0);
+  world.users()[2].mark_contributed(TaskId{10});
+  world.tasks()[0].add_measurement(UserId{55}, 1, 2.5);
+  world.users()[2].mark_contributed(TaskId{20});
+  world.tasks()[1].add_measurement(UserId{55}, 1, 2.0);
+
+  const std::string before = world_to_json(world).dump(2);
+  model::World back = world_from_json(world_to_json(world));
+  EXPECT_EQ(world_to_json(back).dump(2), before);
+  EXPECT_TRUE(back.users()[0].has_contributed(TaskId{31}));
+  EXPECT_FALSE(back.users()[0].has_contributed(TaskId{10}));
+  EXPECT_TRUE(back.users()[2].has_contributed(TaskId{10}));
+  EXPECT_TRUE(back.users()[2].has_contributed(TaskId{20}));
+  EXPECT_EQ(back.users()[2].tasks_contributed(), 2u);
+}
+
+// A selector without clone() cannot fan out: shards != 0 must fall back to
+// the legacy loop (same as plan_threads does) and stay bit-identical.
+class UncloneableSelector final : public select::TaskSelector {
+ public:
+  UncloneableSelector()
+      : inner_(select::make_selector(select::SelectorKind::kGreedy, 14)) {}
+  const char* name() const override { return "uncloneable"; }
+  select::Selection select(
+      const select::SelectionInstance& instance) const override {
+    return inner_->select(instance);
+  }
+  // clone() intentionally not overridden: the base returns nullptr.
+
+ private:
+  std::unique_ptr<select::TaskSelector> inner_;
+};
+
+TEST(ShardEquivalence, SelectorWithoutCloneFallsBackToLegacyLoop) {
+  const auto run = [](int shards) {
+    RunKnobs k;
+    Rng rng(4242);
+    model::World world = generate_world(scenario(k), rng);
+    Rng mech_rng = rng.split(0xfeed);
+    auto mech = incentive::make_mechanism(incentive::MechanismKind::kOnDemand,
+                                          world, {}, mech_rng);
+    SimulatorParams sp;
+    sp.max_rounds = 5;
+    sp.shards = shards;
+    Simulator s(std::move(world), std::move(mech),
+                std::make_unique<UncloneableSelector>(), sp);
+    s.run();
+    return world_to_json(s.world()).dump(2);
+  };
+  EXPECT_EQ(run(0), run(4));
+}
+
+// Checkpoint/resume round-trips the SoA world and the sharded knob: a
+// sharded campaign torn down mid-flight through the envelope bytes resumes
+// bit-identically, and the decoded params still say sharded.
+TEST(ShardEquivalence, CheckpointResumeMidCampaignSharded) {
+  RunKnobs k;
+  k.faults = true;
+  k.memo = true;
+  k.home_sites = 6;
+  k.budget_quantum = 300.0;
+  k.shards = 2;
+  const CampaignRun straight = run_campaign(k);
+
+  std::optional<Simulator> s(make_simulator(k));
+  const Round max_rounds = 8;
+  while (s->current_round() < max_rounds && !s->all_tasks_closed()) {
+    s->step();
+    const Round done = s->current_round();
+    if (done % 2 == 0 && done < max_rounds) {
+      const std::string bytes = encode_checkpoint(s->checkpoint());
+      s.reset();  // the original campaign is gone, bytes are all that's left
+      const CampaignCheckpoint back = decode_checkpoint(bytes);
+      EXPECT_EQ(back.params.shards, 2);
+      // Replay the construction-time draws exactly as the runner does.
+      Rng rng(4242);
+      model::World fresh = generate_world(scenario(k), rng);
+      Rng mech_rng = rng.split(0xfeed);
+      s.emplace(Simulator::resume(
+          back,
+          incentive::make_mechanism(k.kind, fresh, {}, mech_rng),
+          select::make_selector(k.selector, 14),
+          make_mobility(k.mobility, 150.0)));
+    }
+  }
+  const CampaignRun resumed = finish(*s);
+  expect_bit_identical(straight, resumed);
+  expect_same_memo_stats(straight, resumed);
+}
+
+}  // namespace
+}  // namespace mcs::sim
