@@ -148,13 +148,20 @@ PY
   # along inside BENCH_campaign.json with CPU-time speedups per benchmark.
   # The BM_CampaignMemo pairs are additionally distilled into a "plan_memo"
   # section: campaigns/s with the memo off vs on, the off->on speedup and
-  # the memo hit rate, per user count.
+  # the memo hit rate, per user count. The BM_CampaignCommit pairs become a
+  # "commit_phase" section: commit+prepass seconds for the buffered vs the
+  # legacy commit path, plus the reduction against the committed HEAD
+  # capture's BM_CampaignSharded shards=1 phase timers (the pre-PR release
+  # numbers), so the commit-restructuring claim is auditable from one file.
   if command -v python3 >/dev/null 2>&1; then
+    HEAD_CAMPAIGN="$(mktemp)"
+    git show HEAD:results/BENCH_campaign.json > "${HEAD_CAMPAIGN}" \
+      2>/dev/null || : > "${HEAD_CAMPAIGN}"
     python3 - "${CAMPAIGN_TMP}" results/BENCH_campaign_baseline_pre_pr.json \
-      results/BENCH_campaign.json <<'PY'
-import json, os, sys
+      results/BENCH_campaign.json "${HEAD_CAMPAIGN}" <<'PY'
+import json, os, re, sys
 
-cur_path, base_path, out_path = sys.argv[1:4]
+cur_path, base_path, out_path, head_path = sys.argv[1:5]
 with open(cur_path) as f:
     cur = json.load(f)
 merged = {"current": cur}
@@ -163,14 +170,24 @@ if os.path.exists(base_path):
         base = json.load(f)
     merged["baseline_pre_pr"] = base
 
+    # Best repetition per name (repetition runs emit duplicates, with a
+    # "/repeats:N" name suffix a single-run baseline lacks), matching the
+    # bench_gate folding.
     def cpu_times(run):
-        return {b["name"]: b["cpu_time"] for b in run.get("benchmarks", [])
-                if b.get("run_type", "iteration") == "iteration"}
+        out = {}
+        for b in run.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            t = b.get("cpu_time", 0.0)
+            if t > 0.0:
+                name = re.sub(r"/repeats:\d+$", "", b["name"])
+                out[name] = min(out.get(name, t), t)
+        return out
 
     b_t, c_t = cpu_times(base), cpu_times(cur)
     merged["speedup_cpu_time_vs_baseline"] = {
         name: round(b_t[name] / c_t[name], 3)
-        for name in c_t if name in b_t and c_t[name] > 0.0
+        for name in c_t if name in b_t
     }
 
 memo = {}
@@ -194,10 +211,51 @@ for entry in memo.values():
 if memo:
     merged["plan_memo"] = memo
 
+def commit_prepass_s(b):
+    return b.get("phase_commit_s", 0.0) + b.get("phase_prepass_s", 0.0)
+
+commit = {}
+for b in cur.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_CampaignCommit" or len(parts) < 3:
+        continue
+    users, legacy = parts[1], parts[2] == "1"
+    key = "legacy" if legacy else "buffered"
+    commit.setdefault(users, {})[key + "_commit_plus_prepass_s"] = round(
+        commit_prepass_s(b), 4)
+
+# Pre-PR phase timers: the committed HEAD capture's shards=1 sharded runs.
+head_phase = {}
+if os.path.getsize(head_path) > 0:
+    with open(head_path) as f:
+        head = json.load(f)
+    head = head.get("current", head)
+    for b in head.get("benchmarks", []):
+        parts = b["name"].split("/")
+        if parts[0] == "BM_CampaignSharded" and len(parts) >= 3 \
+                and parts[2] == "1" and "phase_commit_s" in b:
+            head_phase[parts[1]] = commit_prepass_s(b)
+
+for users, entry in commit.items():
+    buffered = entry.get("buffered_commit_plus_prepass_s")
+    legacy = entry.get("legacy_commit_plus_prepass_s")
+    if buffered and legacy:
+        entry["reduction_vs_legacy"] = round(legacy / buffered, 3)
+    if buffered and head_phase.get(users):
+        entry["prev_release_commit_plus_prepass_s"] = round(
+            head_phase[users], 4)
+        entry["reduction_vs_prev_release"] = round(
+            head_phase[users] / buffered, 3)
+if commit:
+    merged["commit_phase"] = commit
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
 PY
+    rm -f "${HEAD_CAMPAIGN}"
   else
     cp "${CAMPAIGN_TMP}" results/BENCH_campaign.json
   fi

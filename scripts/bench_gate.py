@@ -14,12 +14,19 @@ FRESH and BASELINE are either raw google-benchmark JSON files or the merged
 results/BENCH_*.json shape ({"current": <benchmark json>, ...}); BASELINE is
 typically materialized with `git show HEAD:results/BENCH_campaign.json`.
 
+When a capture was taken with --benchmark_repetitions=N, every repetition
+appears as its own "iteration" entry under the same name; the gate keeps
+the best repetition per name (min cpu_time / max items_per_second), which
+is the standard scheduling-noise filter — the best-of-N of a healthy build
+is stable where the mean is not.
+
 For each benchmark name matched by --series and present in both captures,
 the gate compares `items_per_second` when the benchmark reports it (higher
 is better) and `cpu_time` otherwise (lower is better). The default series
 covers the campaign-throughput families whose numbers are quoted in
-EXPERIMENTS.md; single-iteration large-world runs (BM_CampaignSharded) are
-excluded by default because one sample has no noise floor to gate against.
+EXPERIMENTS.md; single-iteration large-world runs (BM_CampaignSharded,
+BM_CampaignCommit) are excluded by default because one sample has no noise
+floor to gate against.
 """
 
 import argparse
@@ -28,8 +35,29 @@ import re
 import sys
 
 
+def better_of(a, b):
+    """The better of two same-name benchmark entries: max items_per_second
+    when both report it, else min cpu_time."""
+    if "items_per_second" in a and "items_per_second" in b:
+        return a if a["items_per_second"] >= b["items_per_second"] else b
+    return a if a.get("cpu_time", 0.0) <= b.get("cpu_time", 0.0) else b
+
+
+def normalize_name(name):
+    """Strip the "/repeats:N" suffix repetition runs append, so a
+    repetitions capture stays comparable with a single-run baseline (and
+    vice versa)."""
+    return re.sub(r"/repeats:\d+$", "", name)
+
+
 def load_benchmarks(path):
-    """Name -> benchmark dict, for raw or merged ("current") captures."""
+    """Name -> best benchmark entry, for raw or merged ("current") captures.
+
+    Repetition runs emit one "iteration" entry per repetition under the same
+    name (plus aggregate entries, which are skipped); duplicates keep the
+    best repetition instead of whichever happened to come last. Names are
+    normalized via normalize_name.
+    """
     with open(path) as f:
         doc = json.load(f)
     if "current" in doc and isinstance(doc["current"], dict):
@@ -38,27 +66,14 @@ def load_benchmarks(path):
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
-        out[b["name"]] = b
+        name = normalize_name(b["name"])
+        out[name] = better_of(out[name], b) if name in out else b
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh")
-    ap.add_argument("baseline")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed fractional regression (default 0.15)")
-    ap.add_argument(
-        "--series",
-        default=r"^BM_Campaign(/|PlanThreads/|Memo/|Threaded)",
-        help="regex of benchmark names to gate (default: the campaign "
-             "throughput families)")
-    args = ap.parse_args()
-
-    fresh = load_benchmarks(args.fresh)
-    base = load_benchmarks(args.baseline)
-    series = re.compile(args.series)
-
+def compare(fresh, base, threshold, series_regex):
+    """Gate the overlapping series; returns (checked, failure_lines)."""
+    series = re.compile(series_regex)
     checked = 0
     failures = []
     for name, fb in sorted(fresh.items()):
@@ -79,10 +94,29 @@ def main():
             checked += 1
             change = (old - new) / old  # negative = slower
             label = "cpu_time"
-        if change < -args.threshold:
+        if change < -threshold:
             failures.append(
                 f"  {name}: {label} {old:.4g} -> {new:.4g} "
                 f"({change * 100.0:+.1f}%)")
+    return checked, failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument(
+        "--series",
+        default=r"^BM_Campaign(/|PlanThreads/|Memo/|Threaded)",
+        help="regex of benchmark names to gate (default: the campaign "
+             "throughput families)")
+    args = ap.parse_args()
+
+    fresh = load_benchmarks(args.fresh)
+    base = load_benchmarks(args.baseline)
+    checked, failures = compare(fresh, base, args.threshold, args.series)
 
     if checked == 0:
         print("bench_gate: no overlapping gated series; nothing to check")

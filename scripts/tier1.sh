@@ -68,8 +68,12 @@ else
   # ShardEquivalence drives the spatially sharded round loop (parallel
   # pre-pass + per-cell planning over the SoA stores) at shard counts 1-8
   # and auto — the widest concurrent surface in the simulator.
+  # CommitEquivalence drives the buffered parallel commit (segment walk +
+  # ordered merge + row-grouped delivery apply) against the legacy serial
+  # loop at shard counts 0-8 and auto — every thread-local effect buffer
+  # and its merge runs under TSan here.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan --output-on-failure \
-    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|PlanMemoEquivalence|RepriceEquivalence|ShardEquivalence'
+    -R 'ThreadPool|ParallelForEach|ParallelRunner|Determinism|Runner|Simulator|PlanEquivalence|PlanMemoEquivalence|RepriceEquivalence|ShardEquivalence|CommitEquivalence'
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -105,13 +109,19 @@ else
   # floating-point identity claim just like the selector equivalences.
   # ShardEquivalence: sharded == legacy is likewise a floating-point
   # identity claim (the reach filter must drop exactly what the DP prune
-  # drops under -O3's reassociation too).
+  # drops under -O3's reassociation too). CommitEquivalence: the buffered
+  # commit's merge replays payments and deliveries in the legacy order —
+  # bit-identity that must survive -O3 exactly like the others.
   ctest --test-dir build-release --output-on-failure -j "${JOBS}" \
-    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope|ShardEquivalence'
+    -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope|ShardEquivalence|CommitEquivalence'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
+  # BM_CampaignCommit joins the smoke set: a commit A/B bench that no
+  # longer builds or runs must fail tier-1, not bench day. Only the 100k
+  # buffered run (trailing slash keeps the 1M configs out — they are
+  # minutes of work and belong to bench day).
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8' >/dev/null
+    --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8|BM_CampaignCommit/100000/0/' >/dev/null
   # Checkpoint write/load smoke: a broken durability bench (or a checkpoint
   # layer that stopped round-tripping under -O3) fails tier-1 here.
   ./build-release/bench/bench_checkpoint --benchmark_min_time=0.01 \

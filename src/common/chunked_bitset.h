@@ -58,6 +58,48 @@ class ChunkedBitset {
   std::size_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  /// Bulk merge: set every value of `o` in this set. One sorted two-pointer
+  /// walk over the chunk vectors — O(chunks(a) + chunks(b)) regardless of
+  /// how many bits are set, which is what makes per-shard dirty-task
+  /// journals cheap to fold into one round journal (the commit-merge path).
+  /// Self-merge is a no-op.
+  ChunkedBitset& operator|=(const ChunkedBitset& o) {
+    if (this == &o || o.chunks_.empty()) return *this;
+    if (chunks_.empty()) {
+      chunks_ = o.chunks_;
+      count_ = o.count_;
+      return *this;
+    }
+    std::vector<Chunk> merged;
+    merged.reserve(chunks_.size() + o.chunks_.size());
+    std::size_t count = 0;
+    auto a = chunks_.begin();
+    auto b = o.chunks_.begin();
+    const auto add = [&merged, &count](const Chunk& c) {
+      count += static_cast<std::size_t>(
+          std::popcount(c.words[0]) + std::popcount(c.words[1]) +
+          std::popcount(c.words[2]) + std::popcount(c.words[3]));
+      merged.push_back(c);
+    };
+    while (a != chunks_.end() && b != o.chunks_.end()) {
+      if (a->base < b->base) {
+        add(*a++);
+      } else if (b->base < a->base) {
+        add(*b++);
+      } else {
+        Chunk c = *a++;
+        for (int wi = 0; wi < 4; ++wi) c.words[wi] |= b->words[wi];
+        ++b;
+        add(c);
+      }
+    }
+    for (; a != chunks_.end(); ++a) add(*a);
+    for (; b != o.chunks_.end(); ++b) add(*b);
+    chunks_ = std::move(merged);
+    count_ = count;
+    return *this;
+  }
+
   void clear() {
     chunks_.clear();
     count_ = 0;

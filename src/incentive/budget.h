@@ -2,12 +2,42 @@
 // campaign must never exceed the platform budget B (§III-B).
 #pragma once
 
+#include <cmath>
+
 #include "common/types.h"
 
 namespace mcs::incentive {
 
 class BudgetTracker {
  public:
+  /// Per-shard payment sub-account for the commit-merge path: the same
+  /// Neumaier recurrence as pay(), but free-standing, so each commit
+  /// segment can accumulate its own compensated payment total while the
+  /// session walk fans out. Sub-account totals are order-sensitive in their
+  /// last few ulps (floating-point addition does not associate), so the
+  /// ordered merge never folds them into the campaign tracker — it replays
+  /// the individual payments in global visit order, which is what keeps the
+  /// tracker's (spent_, comp_) words bit-identical to the serial commit.
+  /// The sub-accounts serve as the merge's per-segment cross-check and as
+  /// diagnostics (DESIGN.md §10).
+  struct SubAccount {
+    Money sum = 0.0;
+    Money comp = 0.0;
+
+    void add(Money amount) {
+      const Money t = sum + amount;
+      if (std::abs(sum) >= std::abs(amount)) {
+        comp += (sum - t) + amount;
+      } else {
+        comp += (amount - t) + sum;
+      }
+      sum = t;
+    }
+
+    Money total() const { return sum + comp; }
+    void reset() { sum = comp = 0.0; }
+  };
+
   /// In strict mode pay() throws on overdraft. In soft mode (used by the
   /// simulator) payments committed within a round are always honored and any
   /// excess is recorded as overdraft — Eq. 8 makes overdraft impossible at

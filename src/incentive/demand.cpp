@@ -67,14 +67,21 @@ DemandIndicator DemandIndicator::with_paper_defaults(DemandParams params) {
   return DemandIndicator(params, m, ahp::WeightMethod::kRowAverage);
 }
 
-double DemandIndicator::demand(const model::Task& task, Round k, int neighbors,
-                               int max_neighbors) const {
-  if (task.completed() || task.expired_at(k)) return 0.0;
-  const double x1 = deadline_factor(task.deadline(), k, params_.lambda1);
-  const double x2 =
-      progress_factor(task.received(), task.required(), params_.lambda2);
+double DemandIndicator::demand_from_fields(Round deadline, int required,
+                                           int received, Round k,
+                                           int neighbors,
+                                           int max_neighbors) const {
+  if (received >= required || k > deadline) return 0.0;  // completed/expired
+  const double x1 = deadline_factor(deadline, k, params_.lambda1);
+  const double x2 = progress_factor(received, required, params_.lambda2);
   const double x3 = neighbor_factor(neighbors, max_neighbors, params_.lambda3);
   return weights_[0] * x1 + weights_[1] * x2 + weights_[2] * x3;
+}
+
+double DemandIndicator::demand(const model::Task& task, Round k, int neighbors,
+                               int max_neighbors) const {
+  return demand_from_fields(task.deadline(), task.required(), task.received(),
+                            k, neighbors, max_neighbors);
 }
 
 std::vector<double> DemandIndicator::demands(const model::World& world,
@@ -101,9 +108,16 @@ void DemandIndicator::demands_into(const model::World& world, Round k,
       neighbor_counts.empty()
           ? 0
           : *std::max_element(neighbor_counts.begin(), neighbor_counts.end());
-  out.resize(world.num_tasks());
-  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
-    out[i] = demand(world.tasks()[i], k, neighbor_counts[i], max_neighbors);
+  // One cache-friendly sweep over the store columns instead of a Task view
+  // per row: deadline/required stream as packed lines, and only the
+  // measurement-vector size is read per task. Identical expression to
+  // demand() by construction (shared demand_from_fields core).
+  const model::TaskStore& ts = world.task_store();
+  out.resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out[i] = demand_from_fields(ts.deadline[i], ts.required[i],
+                                static_cast<int>(ts.measurements[i].size()), k,
+                                neighbor_counts[i], max_neighbors);
   }
 }
 

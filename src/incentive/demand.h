@@ -105,6 +105,11 @@ class DemandIndicator {
                                std::vector<double>& out) const;
 
  private:
+  /// Eq. 2 from raw store fields — the shared core of demand() and the
+  /// demands_into() column sweep, so the two are identical expressions.
+  double demand_from_fields(Round deadline, int required, int received,
+                            Round k, int neighbors, int max_neighbors) const;
+
   DemandParams params_;
   std::vector<double> weights_;
 };

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/chunked_bitset.h"
@@ -24,6 +25,52 @@
 #include "geo/point.h"
 
 namespace mcs::model {
+
+/// Row position returned by the id→row lookups for an unknown id.
+inline constexpr std::uint32_t kNoRow = 0xffffffffu;
+
+/// Lazily built id→row hash index shared by the two stores. World's
+/// add_task()/add_user() assign dense ids (id == row), which the callers'
+/// inline fast path serves without ever touching this; the index only
+/// materializes for hand-assembled worlds with arbitrary ids — and then
+/// lookups are O(1) instead of the historical O(n) scan fallback.
+///
+/// The index rebuilds itself whenever the store grew since the last build,
+/// and once more when a lookup finds a stale entry (an id overwritten in
+/// place through a mutable view — test-setup only; nothing mutates ids
+/// mid-campaign). Lookups on a fresh index are read-only, so callers that
+/// fan row lookups across threads are safe as long as the id set is frozen,
+/// which a running campaign guarantees.
+struct IdRowIndex {
+  template <typename Id>
+  std::uint32_t row_of(const std::vector<Id>& ids, Id want) const {
+    if (built_size != ids.size()) rebuild(ids);
+    auto it = map.find(static_cast<std::int64_t>(want));
+    if (it != map.end() &&
+        ids[it->second] == want) {
+      return it->second;
+    }
+    // Either unknown or an id was overwritten in place: rebuild once and
+    // give the new layout the final say.
+    rebuild(ids);
+    it = map.find(static_cast<std::int64_t>(want));
+    return (it != map.end() && ids[it->second] == want) ? it->second : kNoRow;
+  }
+
+  template <typename Id>
+  void rebuild(const std::vector<Id>& ids) const {
+    map.clear();
+    map.reserve(ids.size());
+    for (std::size_t row = 0; row < ids.size(); ++row) {
+      map.emplace(static_cast<std::int64_t>(ids[row]),
+                  static_cast<std::uint32_t>(row));
+    }
+    built_size = ids.size();
+  }
+
+  mutable std::unordered_map<std::int64_t, std::uint32_t> map;
+  mutable std::size_t built_size = static_cast<std::size_t>(-1);
+};
 
 /// One accepted measurement of a task.
 struct Measurement {
@@ -43,6 +90,18 @@ struct UserStore {
   std::vector<ChunkedBitset> contributed;  // task ids this user delivered to
 
   std::size_t size() const { return id.size(); }
+
+  /// Row of the user with this id (kNoRow when unknown): dense fast path,
+  /// then the lazily built hash index — never an O(n) scan per lookup.
+  std::uint32_t row_of(UserId want) const {
+    if (want >= 0 && static_cast<std::size_t>(want) < id.size() &&
+        id[static_cast<std::size_t>(want)] == want) {
+      return static_cast<std::uint32_t>(want);
+    }
+    return row_index.row_of(id, want);
+  }
+
+  IdRowIndex row_index;
 };
 
 /// Parallel arrays over the task set; row i is task position i.
@@ -55,6 +114,18 @@ struct TaskStore {
   std::vector<ChunkedBitset> contributors;  // user ids, mirrors measurements
 
   std::size_t size() const { return id.size(); }
+
+  /// Row of the task with this id (kNoRow when unknown); same shape as
+  /// UserStore::row_of.
+  std::uint32_t row_of(TaskId want) const {
+    if (want >= 0 && static_cast<std::size_t>(want) < id.size() &&
+        id[static_cast<std::size_t>(want)] == want) {
+      return static_cast<std::uint32_t>(want);
+    }
+    return row_index.row_of(id, want);
+  }
+
+  IdRowIndex row_index;
 };
 
 }  // namespace mcs::model

@@ -130,36 +130,24 @@ UserId World::add_user(geo::Point home, Seconds time_budget) {
   return id;
 }
 
-// add_task() assigns dense ids (position == id), which the fast path below
-// serves; worlds assembled directly through the mutable tasks() accessor may
-// carry arbitrary ids and fall back to a scan.
+// add_task() assigns dense ids (position == id), which the stores' inline
+// fast path serves; worlds assembled directly through the mutable tasks()
+// accessor may carry arbitrary ids and resolve through the lazily built
+// id→row hash index (store.h) — O(1) amortized, never a per-lookup scan.
 Task& World::task(TaskId id) {
-  if (id >= 0 && static_cast<std::size_t>(id) < tstore_->size() &&
-      tstore_->id[static_cast<std::size_t>(id)] == id) {
-    return tasks_[static_cast<std::size_t>(id)];
-  }
-  for (std::size_t i = 0; i < tstore_->size(); ++i) {
-    if (tstore_->id[i] == id) return tasks_[i];
-  }
-  throw Error("unknown task id");
+  const std::uint32_t row = tstore_->row_of(id);
+  if (row == kNoRow) throw Error("unknown task id");
+  return tasks_[row];
 }
 
 const Task& World::task(TaskId id) const {
   return const_cast<World*>(this)->task(id);
 }
 
-// add_user() also assigns dense ids; the same scan fallback as task() keeps
-// hand-assembled worlds with arbitrary user ids working (same bug class as
-// the dense-TaskId fixes).
 User& World::user(UserId id) {
-  if (id >= 0 && static_cast<std::size_t>(id) < ustore_->size() &&
-      ustore_->id[static_cast<std::size_t>(id)] == id) {
-    return users_[static_cast<std::size_t>(id)];
-  }
-  for (std::size_t i = 0; i < ustore_->size(); ++i) {
-    if (ustore_->id[i] == id) return users_[i];
-  }
-  throw Error("unknown user id");
+  const std::uint32_t row = ustore_->row_of(id);
+  if (row == kNoRow) throw Error("unknown user id");
+  return users_[row];
 }
 
 const User& World::user(UserId id) const {
@@ -215,6 +203,11 @@ void World::rebuild_neighbor_derived() const {
   ncache_.changed_mark.assign(tstore_->size(), 0);
   ncache_.changed_gen = 1;
   ncache_.rebuilt_pending = true;
+  // Size the sync scratch here too, so the first delta sync after a rebuild
+  // is allocation-free (the steady-state reprice path is gated on zero
+  // heap traffic).
+  ncache_.delta.assign(tstore_->size(), 0);
+  ncache_.touch_mark.assign(tstore_->size(), 0);
   ncache_.valid = true;
 }
 
@@ -257,37 +250,38 @@ void World::warm_neighbor_cache(ThreadPool& pool, int workers) const {
   rebuild_neighbor_derived();
 }
 
-void World::bump_neighbor_count(std::size_t pos, int delta) const {
-  int& c = ncache_.counts[pos];
-  --ncache_.count_freq[static_cast<std::size_t>(c)];
-  c += delta;
-  if (static_cast<std::size_t>(c) >= ncache_.count_freq.size()) {
-    ncache_.count_freq.resize(static_cast<std::size_t>(c) + 1, 0);
-  }
-  ++ncache_.count_freq[static_cast<std::size_t>(c)];
-  if (c > ncache_.max_count) {
-    ncache_.max_count = c;
-  } else {
-    // The old value may have been the last occupant of the top bucket; walk
-    // down to the next non-empty one. Amortized O(1): the walk only ever
-    // descends past levels some earlier increment climbed.
-    while (ncache_.max_count > 0 &&
-           ncache_.count_freq[static_cast<std::size_t>(ncache_.max_count)] ==
-               0) {
-      --ncache_.max_count;
-    }
-  }
-  if (ncache_.changed_mark[pos] != ncache_.changed_gen) {
-    ncache_.changed_mark[pos] = ncache_.changed_gen;
-    ncache_.changed.push_back(pos);
-  }
-}
-
 void World::sync_neighbor_cache() const {
   // Delta update: a user who moved from p0 to p1 leaves the neighborhood of
   // every task within radius of p0 and enters that of every task within
   // radius of p1. The task grid answers both "tasks near p" queries with
   // the exact predicate a full recount uses, so counts stay integer-exact.
+  //
+  // Batched: the per-user grid pokes only accumulate ±1 into a net-delta
+  // scratch (plus a first-touch list), and the count / histogram / running
+  // max / journal bookkeeping is applied once per touched task in a single
+  // sweep afterwards. A drift round where every user moves pokes each hot
+  // task hundreds of times; the batched kernel pays the histogram walk and
+  // journal dedup once per task instead of once per poke. The final counts,
+  // histogram, max and journal are identical to the historical poke-at-a-
+  // time path: net deltas commute over integer adds, the max is re-derived
+  // from the exact histogram, and the first-touch order of the scratch list
+  // equals the first-bump order (same traversal, application deferred).
+  if (ncache_.delta.size() != tstore_->size()) {
+    ncache_.delta.assign(tstore_->size(), 0);  // kept all-zero between syncs
+  }
+  ncache_.touched.clear();
+  const auto poke = [this](std::int32_t t, int d) {
+    if (ncache_.delta[static_cast<std::size_t>(t)] == 0 &&
+        ncache_.touch_mark[static_cast<std::size_t>(t)] !=
+            ncache_.changed_gen) {
+      ncache_.touched.push_back(static_cast<std::size_t>(t));
+      ncache_.touch_mark[static_cast<std::size_t>(t)] = ncache_.changed_gen;
+    }
+    ncache_.delta[static_cast<std::size_t>(t)] += d;
+  };
+  if (ncache_.touch_mark.size() != tstore_->size()) {
+    ncache_.touch_mark.assign(tstore_->size(), 0);
+  }
   for (std::size_t i = 0; i < ustore_->size(); ++i) {
     const geo::Point now = ustore_->location[i];
     if (now == ncache_.user_pos[i]) continue;
@@ -295,14 +289,44 @@ void World::sync_neighbor_cache() const {
                               ncache_.user_pos[i]);
     ncache_.user_grid->insert(static_cast<std::int32_t>(i), now);
     ncache_.task_grid->for_each_in_radius(
-        ncache_.user_pos[i], neighbor_radius_, [this](std::int32_t t) {
-          bump_neighbor_count(static_cast<std::size_t>(t), -1);
-        });
+        ncache_.user_pos[i], neighbor_radius_,
+        [&poke](std::int32_t t) { poke(t, -1); });
     ncache_.task_grid->for_each_in_radius(
-        now, neighbor_radius_, [this](std::int32_t t) {
-          bump_neighbor_count(static_cast<std::size_t>(t), +1);
-        });
+        now, neighbor_radius_, [&poke](std::int32_t t) { poke(t, +1); });
     ncache_.user_pos[i] = now;
+  }
+  for (const std::size_t pos : ncache_.touched) {
+    // Touched tasks enter the journal even at net-zero delta — exactly the
+    // positions the poke-at-a-time path journaled ("changed and changed
+    // back" is documented as allowed; consumers recompute from the current
+    // count).
+    if (ncache_.changed_mark[pos] != ncache_.changed_gen) {
+      ncache_.changed_mark[pos] = ncache_.changed_gen;
+      ncache_.changed.push_back(pos);
+    }
+    const int d = ncache_.delta[pos];
+    ncache_.delta[pos] = 0;
+    ncache_.touch_mark[pos] = 0;
+    if (d == 0) continue;
+    int& c = ncache_.counts[pos];
+    --ncache_.count_freq[static_cast<std::size_t>(c)];
+    c += d;
+    if (static_cast<std::size_t>(c) >= ncache_.count_freq.size()) {
+      ncache_.count_freq.resize(static_cast<std::size_t>(c) + 1, 0);
+    }
+    ++ncache_.count_freq[static_cast<std::size_t>(c)];
+    if (c > ncache_.max_count) {
+      ncache_.max_count = c;
+    } else {
+      // The old value may have been the last occupant of the top bucket;
+      // walk down to the next non-empty one. Amortized O(1): the walk only
+      // descends past levels some earlier increment climbed.
+      while (ncache_.max_count > 0 &&
+             ncache_.count_freq[static_cast<std::size_t>(
+                 ncache_.max_count)] == 0) {
+        --ncache_.max_count;
+      }
+    }
   }
 }
 

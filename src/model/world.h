@@ -73,6 +73,16 @@ class World {
   const UserStore& user_store() const { return *ustore_; }
   const TaskStore& task_store() const { return *tstore_; }
 
+  /// Mutable column access for the simulator's bulk commit-apply path,
+  /// which writes deliveries grouped by task row / user row instead of
+  /// going through one view call per field. Restricted by contract to the
+  /// per-entity *state* columns (measurements, contributors, contributed,
+  /// location, total_reward, total_cost): row counts, ids and task
+  /// geometry must not change through these — the neighbor cache, the row
+  /// views and the id→row indices key on those.
+  UserStore& user_store_mut() { return *ustore_; }
+  TaskStore& task_store_mut() { return *tstore_; }
+
   /// N_i for every task: number of users within neighbor_radius of the task
   /// location (one entry per task *position*). Backed by a persistent
   /// spatial grid: the first call (and any call after the task set or the
@@ -166,10 +176,6 @@ class World {
   TaskList tasks_;
   UserList users_;
 
-  /// Apply a +-1 count change to task `pos`, keeping the histogram-backed
-  /// running max and the change journal in step.
-  void bump_neighbor_count(std::size_t pos, int delta) const;
-
   // Lazily maintained neighbor-count cache (see neighbor_counts()).
   struct NeighborCache {
     bool valid = false;
@@ -192,6 +198,12 @@ class World {
     std::vector<std::uint32_t> changed_mark;
     std::uint32_t changed_gen = 1;
     bool rebuilt_pending = true;
+    // Batched-sync scratch (sync_neighbor_cache): net count delta per task
+    // and the first-touch list of the sync in flight. Both are left empty /
+    // all-zero when the sync returns, so they carry no state between calls.
+    std::vector<int> delta;
+    std::vector<std::size_t> touched;
+    std::vector<std::uint32_t> touch_mark;
   };
   mutable NeighborCache ncache_;
   // Debug tripwire for the documented NOT-thread-safe contract: every

@@ -61,6 +61,7 @@ Json params_to_json(const SimulatorParams& p) {
   o["plan_threads"] = Json(p.plan_threads);
   o["shards"] = Json(p.shards);
   o["phase_timers"] = Json(p.phase_timers);
+  o["legacy_commit"] = Json(p.legacy_commit);
   Json::Object memo;
   memo["enabled"] = Json(p.memo.enabled);
   memo["cell_size"] = Json(p.memo.cell_size);
@@ -96,6 +97,9 @@ SimulatorParams params_from_json(const Json& j) {
               "shards must be -1 (auto), 0 (legacy) or a worker count");
   }
   if (j.has("phase_timers")) p.phase_timers = j.at("phase_timers").as_bool();
+  if (j.has("legacy_commit")) {
+    p.legacy_commit = j.at("legacy_commit").as_bool();
+  }
   const Json& jm = j.at("memo");
   p.memo.enabled = jm.at("enabled").as_bool();
   p.memo.cell_size = jm.at("cell_size").as_number();
@@ -167,6 +171,12 @@ Json checkpoint_to_json(const CampaignCheckpoint& ckpt) {
   log.restore(ckpt.events);
   o["events"] = events_to_json(log);
   o["memo_stats"] = memo_stats_to_json(ckpt.memo_stats);
+  Json::Object phase;
+  phase["prepass_s"] = Json(ckpt.phase_prepass_s);
+  phase["plan_s"] = Json(ckpt.phase_plan_s);
+  phase["reprice_s"] = Json(ckpt.phase_reprice_s);
+  phase["commit_s"] = Json(ckpt.phase_commit_s);
+  o["phase_seconds"] = Json(std::move(phase));
   return Json(std::move(o));
 }
 
@@ -194,6 +204,18 @@ CampaignCheckpoint checkpoint_from_json(const Json& json) {
             "checkpoint history length does not match its round cursor");
   c.events = events_from_json(json.at("events"));
   c.memo_stats = memo_stats_from_json(json.at("memo_stats"));
+  // Added after the first checkpoint format shipped; absent on older
+  // payloads, which decode with all-zero timers.
+  if (json.has("phase_seconds")) {
+    const Json& jp = json.at("phase_seconds");
+    c.phase_prepass_s = jp.at("prepass_s").as_number();
+    c.phase_plan_s = jp.at("plan_s").as_number();
+    c.phase_reprice_s = jp.at("reprice_s").as_number();
+    c.phase_commit_s = jp.at("commit_s").as_number();
+    MCS_CHECK(c.phase_prepass_s >= 0.0 && c.phase_plan_s >= 0.0 &&
+                  c.phase_reprice_s >= 0.0 && c.phase_commit_s >= 0.0,
+              "phase timers must be non-negative");
+  }
   return c;
 }
 

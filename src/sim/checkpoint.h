@@ -71,6 +71,13 @@ struct CampaignCheckpoint {
   std::vector<RoundMetrics> history;
   std::vector<SensingEvent> events;
   select::PlanMemoStats memo_stats;
+  // Cumulative phase timers (SimulatorParams::phase_timers): carried so a
+  // resumed campaign's summary() reports whole-campaign phase times, not
+  // just the post-resume slice. All zero when the timers are off.
+  double phase_prepass_s = 0.0;
+  double phase_plan_s = 0.0;
+  double phase_reprice_s = 0.0;
+  double phase_commit_s = 0.0;
 };
 
 /// JSON payload <-> checkpoint. u64 seeds and RNG words travel as hex

@@ -1,0 +1,134 @@
+#include "sim/commit.h"
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace mcs::sim {
+
+void merge_commit_segments(const std::vector<CommitSegment>& segments,
+                           Round k, const model::TaskStore& ts,
+                           incentive::BudgetTracker& budget, EventLog& events,
+                           RoundMetrics& rm) {
+  for (const CommitSegment& seg : segments) {
+    rm.dropped_users += seg.dropped;
+    rm.abandoned_tours += seg.abandoned;
+    rm.lost_measurements += seg.lost;
+    rm.corrupted_measurements += seg.corrupted;
+    rm.active_users += seg.active;
+    for (const CommitLeg& leg : seg.legs) {
+      const TaskId id = ts.id[leg.task_row];
+      if (leg.accepted == 0) {
+        // Lost upload: walked but never delivered. wasted_travel is a
+        // running double sum, so the legs must be added one at a time in
+        // visit order — a per-segment partial would round differently.
+        rm.wasted_travel += leg.leg;
+        events.record({k, leg.user, id, 0.0, leg.leg, /*accepted=*/false});
+        continue;
+      }
+      budget.pay(leg.reward);
+      events.record({k, leg.user, id, leg.reward, leg.leg, /*accepted=*/true,
+                     leg.corrupted != 0});
+    }
+  }
+}
+
+void apply_commit_deliveries(const std::vector<CommitSegment>& segments,
+                             Round k, model::TaskStore& ts,
+                             CommitScratch& scratch, ThreadPool* pool,
+                             int workers) {
+  // Merge the per-segment dirty journals into the round's touched-row set
+  // and flatten it to an ascending row list (for_each walks ascending).
+  scratch.dirty.clear();
+  for (const CommitSegment& seg : segments) scratch.dirty |= seg.dirty_rows;
+  scratch.dirty_row_list.clear();
+  scratch.dirty.for_each([&scratch](std::int64_t row) {
+    scratch.dirty_row_list.push_back(static_cast<std::uint32_t>(row));
+  });
+  if (scratch.dirty_row_list.empty()) return;
+
+  // Counting sort by task row, stable in leg order: segments are walked in
+  // order and legs within a segment are in visit order, so each row's
+  // deliveries land in exactly the order the serial commit appended them.
+  if (scratch.task_count.size() < ts.size()) {
+    scratch.task_count.resize(ts.size(), 0);  // kept all-zero between rounds
+  }
+  std::size_t total = 0;
+  for (const CommitSegment& seg : segments) {
+    for (const CommitLeg& leg : seg.legs) {
+      if (leg.accepted == 0) continue;
+      ++scratch.task_count[leg.task_row];
+      ++total;
+    }
+  }
+  const std::size_t n_rows = scratch.dirty_row_list.size();
+  scratch.row_start.resize(n_rows + 1);
+  std::uint32_t off = 0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::uint32_t row = scratch.dirty_row_list[i];
+    scratch.row_start[i] = off;
+    const std::uint32_t c = scratch.task_count[row];
+    scratch.task_count[row] = off;  // becomes the scatter cursor
+    off += c;
+  }
+  scratch.row_start[n_rows] = off;
+  MCS_ASSERT(off == total, "commit scatter offsets out of step");
+  scratch.ordered.resize(total);
+  for (const CommitSegment& seg : segments) {
+    for (const CommitLeg& leg : seg.legs) {
+      if (leg.accepted == 0) continue;
+      scratch.ordered[scratch.task_count[leg.task_row]++] = {leg.user,
+                                                             leg.reward};
+    }
+  }
+  for (const std::uint32_t row : scratch.dirty_row_list) {
+    scratch.task_count[row] = 0;  // restore the all-zero invariant
+  }
+
+  // Row-grouped apply. Task::add_measurement's per-call invariant checks
+  // (valid user, not expired, not already contributed) are preserved as
+  // per-row asserts: expiry once per row, double-delivery via the
+  // contributor insert's newly-set result.
+  const auto apply_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t row = scratch.dirty_row_list[i];
+      MCS_ASSERT(k <= ts.deadline[row],
+                 "cannot add a measurement to an expired task");
+      std::vector<model::Measurement>& ms = ts.measurements[row];
+      ChunkedBitset& contributors = ts.contributors[row];
+      const std::uint32_t b = scratch.row_start[i];
+      const std::uint32_t e = scratch.row_start[i + 1];
+      ms.reserve(ms.size() + (e - b));
+      for (std::uint32_t j = b; j < e; ++j) {
+        const CommitScratch::Delivery& d = scratch.ordered[j];
+        MCS_ASSERT(d.user >= 0, "measurement needs a valid user");
+        ms.push_back({d.user, k, d.reward});
+        const bool fresh = contributors.set(d.user);
+        MCS_ASSERT(fresh, "user already contributed to this task");
+      }
+    }
+  };
+
+  if (pool == nullptr || workers <= 1 || n_rows < 2) {
+    apply_rows(0, n_rows);
+    return;
+  }
+  // Contiguous row ranges balanced by delivery count (any partition writes
+  // the same state; balance only affects wall clock).
+  const std::size_t nw = static_cast<std::size_t>(workers);
+  std::size_t lo = 0;
+  for (std::size_t w = 0; w < nw && lo < n_rows; ++w) {
+    const std::uint32_t target = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(w + 1) * total) / nw);
+    std::size_t hi = (w + 1 == nw) ? n_rows : lo;
+    while (hi < n_rows && scratch.row_start[hi] < target) ++hi;
+    if (lo < hi) {
+      pool->submit([&apply_rows, lo, hi] { apply_rows(lo, hi); });
+    }
+    lo = hi;
+  }
+  pool->wait_idle();
+}
+
+}  // namespace mcs::sim

@@ -85,10 +85,11 @@ struct CampaignMetrics {
   // SimulatorParams::phase_timers is set (all zero otherwise). Pre-pass
   // covers mobility/dropout (plus shard bucketing and the round task grid
   // in sharded mode), plan the selection solves, reprice the mechanism's
-  // reward updates, commit the serial delivery/payment pass. Untimed glue
-  // (open-set scans, pool build, metrics) is excluded, and the counters are
-  // a profiling diagnostic: they are not checkpointed, so a resumed
-  // campaign restarts them at zero.
+  // reward updates, commit the walk/merge/apply delivery pipeline. Untimed
+  // glue (open-set scans, pool build, metrics) is excluded. The counters
+  // are carried through checkpoints, so a resumed campaign's summary
+  // reports whole-campaign times (wall clock, not comparable across
+  // machines — a diagnostic, not a metric).
   double phase_prepass_s = 0.0;
   double phase_plan_s = 0.0;
   double phase_reprice_s = 0.0;

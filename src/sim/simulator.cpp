@@ -204,6 +204,138 @@ void Simulator::commit_session(Round k, model::User& u, std::size_t pos,
   if (walked_legs > 0) ++rm.active_users;
 }
 
+void Simulator::commit_sessions(Round k,
+                                const std::vector<std::uint32_t>& visit_order,
+                                const std::vector<char>& dropped,
+                                const std::vector<select::Selection>& plans,
+                                const std::vector<char>& feasible,
+                                const std::vector<Money>& reward_row,
+                                RoundMetrics& rm) {
+  const std::size_t n = visit_order.size();
+  model::UserStore& us = world_.user_store_mut();
+  const model::TaskStore& ts = world_.task_store();
+
+  // Sparse-id worlds resolve plan task ids through the store's hash index;
+  // warm it here, serially, so the concurrent walkers only ever read a
+  // fresh index (IdRowIndex's lazy rebuild is not safe to race).
+  bool dense_ids = true;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts.id[i] != static_cast<TaskId>(i)) {
+      dense_ids = false;
+      break;
+    }
+  }
+  if (!dense_ids && ts.row_index.built_size != ts.size()) {
+    ts.row_index.rebuild(ts.id);
+  }
+
+  const int workers =
+      plan_pool_ ? static_cast<int>(plan_selectors_.size()) : 1;
+  const std::size_t n_segs = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(workers), n));
+  if (commit_scratch_.segments.size() < n_segs) {
+    commit_scratch_.segments.resize(n_segs);
+  }
+  for (CommitSegment& seg : commit_scratch_.segments) seg.clear();
+
+  // Phase A: walk the tours into per-segment effect buffers. Everything a
+  // walker writes is either private to its segment or private to its users'
+  // rows (location, contributed set, earnings, profit) — segments hold
+  // contiguous visit-order ranges, and a user appears in the visit order
+  // exactly once.
+  const bool faults_on = faults_.enabled();
+  const geo::TravelModel& travel = world_.travel();
+  const auto walk_range = [&](CommitSegment& seg, std::size_t lo,
+                              std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const std::uint32_t pos = visit_order[idx];
+      if (dropped[pos] != 0) {
+        ++seg.dropped;
+        continue;
+      }
+      MCS_ASSERT(feasible[pos] != 0, "selector returned an infeasible tour");
+      const select::Selection& sel = plans[pos];
+      const UserId uid = us.id[pos];
+      const int planned_legs = static_cast<int>(sel.order.size());
+      int walked_legs = planned_legs;
+      if (faults_on) {
+        walked_legs = faults_.legs_completed(uid, k, planned_legs);
+        if (walked_legs < planned_legs) ++seg.abandoned;
+      }
+      Money reward_earned = 0.0;
+      Meters walked = 0.0;
+      geo::Point at = us.location[pos];
+      for (int li = 0; li < walked_legs; ++li) {
+        const TaskId id = sel.order[static_cast<std::size_t>(li)];
+        const std::uint32_t row =
+            dense_ids ? static_cast<std::uint32_t>(id) : ts.row_of(id);
+        MCS_ASSERT(row != model::kNoRow &&
+                       static_cast<std::size_t>(row) < ts.size(),
+                   "planned task id unknown to the world");
+        const Meters leg = geo::euclidean(at, ts.location[row]);
+        walked += leg;
+        at = ts.location[row];
+        if (faults_on && faults_.lose_upload(uid, id, k)) {
+          ++seg.lost;
+          seg.legs.push_back({row, uid, 0.0, leg, 0, 0});
+          continue;
+        }
+        const bool corrupted = faults_on && faults_.corrupt_upload(uid, id, k);
+        const Money reward = reward_row[row];
+        us.contributed[pos].set(id);
+        reward_earned += reward;
+        seg.paid.add(reward);
+        if (corrupted) ++seg.corrupted;
+        seg.legs.push_back({row, uid, reward, leg, 1,
+                            static_cast<std::uint8_t>(corrupted ? 1 : 0)});
+        seg.dirty_rows.set(row);
+      }
+      us.location[pos] = at;
+      const Money cost = travel.cost_for(
+          walked_legs == planned_legs ? sel.distance : walked);
+      us.total_reward[pos] += reward_earned;
+      us.total_cost[pos] += cost;
+      rm.user_profit[pos] = reward_earned - cost;
+      if (walked_legs > 0) ++seg.active;
+    }
+  };
+
+  if (n_segs <= 1 || plan_pool_ == nullptr) {
+    walk_range(commit_scratch_.segments[0], 0, n);
+  } else {
+    const std::size_t chunk = (n + n_segs - 1) / n_segs;
+    for (std::size_t s = 0; s < n_segs; ++s) {
+      const std::size_t lo = std::min(n, s * chunk);
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo < hi) {
+        plan_pool_->submit(
+            [&walk_range, &seg = commit_scratch_.segments[s], lo, hi] {
+              walk_range(seg, lo, hi);
+            });
+      }
+    }
+    plan_pool_->wait_idle();
+  }
+
+  // Phase B: ordered merge — payments, events, wasted travel and fault
+  // counters replay in global visit order, bit-identical to the serial
+  // interleaving.
+  const Money paid_before = budget_.spent();
+  merge_commit_segments(commit_scratch_.segments, k, ts, budget_, events_, rm);
+  Money sub_total = 0.0;
+  for (const CommitSegment& seg : commit_scratch_.segments) {
+    sub_total += seg.paid.total();
+  }
+  const Money paid_delta = budget_.spent() - paid_before;
+  MCS_ASSERT(std::abs(paid_delta - sub_total) <=
+                 1e-6 * std::max(1.0, std::abs(paid_delta)),
+             "commit merge payment replay deviates from the sub-accounts");
+
+  // Phase C: task-grouped delivery apply.
+  apply_commit_deliveries(commit_scratch_.segments, k, world_.task_store_mut(),
+                          commit_scratch_, plan_pool_.get(), workers);
+}
+
 void Simulator::run_sessions_intra_round(
     Round k, const std::vector<bool>& open,
     const std::shared_ptr<const select::CandidatePool>& pool,
@@ -425,17 +557,30 @@ void Simulator::run_sessions_planned(
     t0 = mono_seconds();
   }
 
-  // Commit phase: serial, in the round's shuffled visit order — payments,
-  // deliveries, events and the remaining fault draws (abandonment, upload
-  // loss/corruption: pure hashes) replay exactly as the serial loop would.
-  for (const std::uint32_t pos : visit_order) {
-    if (dropped[pos]) {
-      ++rm.dropped_users;
-      continue;
+  // Commit phase: payments, deliveries, events and the remaining fault
+  // draws (abandonment, upload loss/corruption: pure hashes) replay exactly
+  // as the legacy serial loop would — through the buffered walk/merge/apply
+  // pipeline (sim/commit.h), or one user at a time under the debug oracle.
+  if (params_.legacy_commit) {
+    for (const std::uint32_t pos : visit_order) {
+      if (dropped[pos]) {
+        ++rm.dropped_users;
+        continue;
+      }
+      MCS_ASSERT(feasible[pos] != 0, "selector returned an infeasible tour");
+      commit_session(k, world_.users()[pos], pos, plans[pos], rm,
+                     /*dirty=*/nullptr);
     }
-    MCS_ASSERT(feasible[pos] != 0, "selector returned an infeasible tour");
-    commit_session(k, world_.users()[pos], pos, plans[pos], rm,
-                   /*dirty=*/nullptr);
+  } else {
+    // Freeze the round prices into a dense per-row snapshot: one virtual
+    // reward() call per open task instead of one per walked leg.
+    const model::TaskStore& ts = world_.task_store();
+    commit_reward_.assign(world_.num_tasks(), 0.0);
+    for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
+      if (open[i]) commit_reward_[i] = mechanism_->reward(ts.id[i]);
+    }
+    commit_sessions(k, visit_order, dropped, plans, feasible, commit_reward_,
+                    rm);
   }
   if (timed) phase_.commit += mono_seconds() - t0;
 }
@@ -526,16 +671,67 @@ bool Simulator::run_sessions_sharded(
   };
   shard_cell_of_.resize(n_users);
   shard_cell_start_.assign(n_cells + 1, 0);
-  for (std::size_t pos = 0; pos < n_users; ++pos) {
-    const std::uint32_t c = cell_of(us.location[pos]);
-    shard_cell_of_[pos] = c;
-    ++shard_cell_start_[c + 1];
-  }
-  for (std::size_t c = 0; c < n_cells; ++c) {
-    shard_cell_start_[c + 1] += shard_cell_start_[c];
-  }
   shard_users_.resize(n_users);
-  {
+  if (pooled_workers && n_users >= 4096) {
+    // Two-pass parallel bucketing: per-worker per-cell histograms, one
+    // serial exclusive prefix over (cell-major, worker-minor), then a
+    // parallel scatter from per-worker cursors. Worker w owns the
+    // contiguous position range [w*chunk, (w+1)*chunk), and within a cell
+    // the workers' slots follow ascending worker index — so every cell's
+    // users land in ascending position order, exactly like the serial
+    // counting sort.
+    const std::size_t nw = static_cast<std::size_t>(workers);
+    shard_bucket_counts_.assign(nw * n_cells, 0);
+    const std::size_t chunk = (n_users + nw - 1) / nw;
+    for (std::size_t w = 0; w < nw; ++w) {
+      const std::size_t lo = std::min(n_users, w * chunk);
+      const std::size_t hi = std::min(n_users, lo + chunk);
+      if (lo < hi) {
+        plan_pool_->submit([this, &us, &cell_of, n_cells, w, lo, hi] {
+          std::uint32_t* counts = shard_bucket_counts_.data() + w * n_cells;
+          for (std::size_t pos = lo; pos < hi; ++pos) {
+            const std::uint32_t c = cell_of(us.location[pos]);
+            shard_cell_of_[pos] = c;
+            ++counts[c];
+          }
+        });
+      }
+    }
+    plan_pool_->wait_idle();
+    std::uint32_t run = 0;
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      shard_cell_start_[c] = run;
+      for (std::size_t w = 0; w < nw; ++w) {
+        std::uint32_t& slot = shard_bucket_counts_[w * n_cells + c];
+        const std::uint32_t cnt = slot;
+        slot = run;  // becomes worker w's scatter cursor for cell c
+        run += cnt;
+      }
+    }
+    shard_cell_start_[n_cells] = run;
+    for (std::size_t w = 0; w < nw; ++w) {
+      const std::size_t lo = std::min(n_users, w * chunk);
+      const std::size_t hi = std::min(n_users, lo + chunk);
+      if (lo < hi) {
+        plan_pool_->submit([this, n_cells, w, lo, hi] {
+          std::uint32_t* cursor = shard_bucket_counts_.data() + w * n_cells;
+          for (std::size_t pos = lo; pos < hi; ++pos) {
+            shard_users_[cursor[shard_cell_of_[pos]]++] =
+                static_cast<std::uint32_t>(pos);
+          }
+        });
+      }
+    }
+    plan_pool_->wait_idle();
+  } else {
+    for (std::size_t pos = 0; pos < n_users; ++pos) {
+      const std::uint32_t c = cell_of(us.location[pos]);
+      shard_cell_of_[pos] = c;
+      ++shard_cell_start_[c + 1];
+    }
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      shard_cell_start_[c + 1] += shard_cell_start_[c];
+    }
     std::vector<std::uint32_t> fill(shard_cell_start_.begin(),
                                     shard_cell_start_.end() - 1);
     for (std::size_t pos = 0; pos < n_users; ++pos) {
@@ -708,17 +904,24 @@ bool Simulator::run_sessions_sharded(
     t0 = mono_seconds();
   }
 
-  // --- Commit: serial, in the round's shuffled visit order — identical to
-  // the legacy loops.
-  for (const std::uint32_t pos : visit_order) {
-    if (shard_dropped_[pos] != 0) {
-      ++rm.dropped_users;
-      continue;
+  // --- Commit: bit-identical to the legacy serial visit-order loop, via
+  // the buffered walk/merge/apply pipeline (sim/commit.h) — or the loop
+  // itself under the debug oracle. shard_reward_ already holds the frozen
+  // per-row prices every plan of this round was computed against.
+  if (params_.legacy_commit) {
+    for (const std::uint32_t pos : visit_order) {
+      if (shard_dropped_[pos] != 0) {
+        ++rm.dropped_users;
+        continue;
+      }
+      MCS_ASSERT(shard_feasible_[pos] != 0,
+                 "selector returned an infeasible tour");
+      commit_session(k, world_.users()[pos], pos, shard_plans_[pos], rm,
+                     /*dirty=*/nullptr);
     }
-    MCS_ASSERT(shard_feasible_[pos] != 0,
-               "selector returned an infeasible tour");
-    commit_session(k, world_.users()[pos], pos, shard_plans_[pos], rm,
-                   /*dirty=*/nullptr);
+  } else {
+    commit_sessions(k, visit_order, shard_dropped_, shard_plans_,
+                    shard_feasible_, shard_reward_, rm);
   }
   if (timed) phase_.commit += mono_seconds() - t0;
   return true;
@@ -868,6 +1071,10 @@ CampaignCheckpoint Simulator::checkpoint() const {
   c.history = history_;
   c.events = events_.events();
   c.memo_stats = plan_memo_.stats();
+  c.phase_prepass_s = phase_.prepass;
+  c.phase_plan_s = phase_.plan;
+  c.phase_reprice_s = phase_.reprice;
+  c.phase_commit_s = phase_.commit;
   return c;
 }
 
@@ -908,6 +1115,10 @@ Simulator Simulator::resume(
   s.history_ = ckpt.history;
   s.next_round_ = ckpt.next_round;
   s.plan_memo_.restore_stats(ckpt.memo_stats);
+  s.phase_.prepass = ckpt.phase_prepass_s;
+  s.phase_.plan = ckpt.phase_plan_s;
+  s.phase_.reprice = ckpt.phase_reprice_s;
+  s.phase_.commit = ckpt.phase_commit_s;
   return s;
 }
 

@@ -21,6 +21,7 @@
 #include "model/world.h"
 #include "select/plan_memo.h"
 #include "select/selector.h"
+#include "sim/commit.h"
 #include "sim/event_log.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
@@ -80,6 +81,13 @@ struct SimulatorParams {
   // plan / reprice / commit) into CampaignMetrics. Off by default: the
   // timer reads are cheap but nonzero, and the fields are diagnostics.
   bool phase_timers = false;
+  // Debug oracle: force the legacy one-user-at-a-time serial commit instead
+  // of the buffered walk/merge/apply pipeline (sim/commit.h) on the planned
+  // and sharded paths. The two commits are bit-identical by construction —
+  // this knob exists so the CommitEquivalence suite can pin that claim and
+  // so BM_CampaignCommit can measure the old path. Intra-round mechanisms
+  // always use the legacy per-session commit (they reprice mid-round).
+  bool legacy_commit = false;
   // Cross-user plan memoization for the planning phase (select/plan_memo.h):
   // users of one round whose selection instances are provably equivalent
   // share one solve. Off by default; when memo.enabled the campaign stays
@@ -211,6 +219,18 @@ class Simulator {
                       const select::Selection& sel, RoundMetrics& rm,
                       std::vector<std::size_t>* dirty);
 
+  /// Buffered commit (sim/commit.h): walk every surviving user's tour into
+  /// per-segment effect buffers (fanned over the plan workers when
+  /// present), replay payments/events/wasted-travel in global visit order,
+  /// then apply deliveries grouped by task row. `reward_row` is the frozen
+  /// round price per task row (plans only reference rows it covers).
+  /// Bit-identical to the legacy serial commit loop at any worker count.
+  void commit_sessions(Round k, const std::vector<std::uint32_t>& visit_order,
+                       const std::vector<char>& dropped,
+                       const std::vector<select::Selection>& plans,
+                       const std::vector<char>& feasible,
+                       const std::vector<Money>& reward_row, RoundMetrics& rm);
+
   /// Lazily build the plan pool plus one selector clone per worker
   /// (selectors' scratch arenas are not reentrant — DESIGN.md §7). Returns
   /// false when the selector is not clonable; callers then plan serially.
@@ -254,6 +274,13 @@ class Simulator {
   std::vector<Money> shard_reward_;            // round-start price per task
   std::vector<select::Selection> shard_plans_;
   std::vector<char> shard_feasible_;
+  // Per-worker cell histograms for the two-pass parallel bucketing
+  // (workers × n_cells, count pass then scatter cursors).
+  std::vector<std::uint32_t> shard_bucket_counts_;
+  // Buffered-commit scratch (sim/commit.h) and the planned path's frozen
+  // per-row price snapshot.
+  CommitScratch commit_scratch_;
+  std::vector<Money> commit_reward_;
   // Cumulative phase timers (params_.phase_timers; see CampaignMetrics).
   struct PhaseSeconds {
     double prepass = 0.0;

@@ -122,5 +122,70 @@ TEST(ChunkedBitset, RandomizedAgainstStdSet) {
   }
 }
 
+std::vector<std::int64_t> to_vector(const ChunkedBitset& b) {
+  std::vector<std::int64_t> out;
+  b.for_each([&](std::int64_t v) { out.push_back(v); });
+  return out;
+}
+
+TEST(ChunkedBitsetMerge, StraddlingChunkBoundaries) {
+  // Values on both sides of the 256-bit chunk boundary, split across the
+  // operands so the merge has to interleave, share and extend chunks.
+  ChunkedBitset a;
+  ChunkedBitset b;
+  for (const std::int64_t v : {0ll, 255ll, 256ll, 1000ll}) a.set(v);
+  for (const std::int64_t v : {255ll, 257ll, 511ll, 512ll, 99999ll}) b.set(v);
+  a |= b;
+  EXPECT_EQ(to_vector(a), (std::vector<std::int64_t>{0, 255, 256, 257, 511,
+                                                     512, 1000, 99999}));
+  EXPECT_EQ(a.count(), 8u);
+  // The operand is untouched.
+  EXPECT_EQ(to_vector(b),
+            (std::vector<std::int64_t>{255, 257, 511, 512, 99999}));
+}
+
+TEST(ChunkedBitsetMerge, EmptyIntoNonEmptyAndBack) {
+  ChunkedBitset a;
+  ChunkedBitset empty;
+  a.set(7);
+  a.set(4096);
+  a |= empty;  // no-op
+  EXPECT_EQ(to_vector(a), (std::vector<std::int64_t>{7, 4096}));
+  empty |= a;  // adopt
+  EXPECT_EQ(to_vector(empty), (std::vector<std::int64_t>{7, 4096}));
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(ChunkedBitsetMerge, SelfMergeIsIdentity) {
+  ChunkedBitset a;
+  for (const std::int64_t v : {1ll, 300ll, 70000ll}) a.set(v);
+  a |= a;
+  EXPECT_EQ(to_vector(a), (std::vector<std::int64_t>{1, 300, 70000}));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(ChunkedBitsetMerge, RandomizedAgainstStdSetUnion) {
+  std::mt19937_64 rng(20260810);
+  std::uniform_int_distribution<std::int64_t> value(0, 1 << 16);
+  for (int trial = 0; trial < 20; ++trial) {
+    ChunkedBitset a;
+    ChunkedBitset b;
+    std::set<std::int64_t> ref;
+    for (int i = 0; i < 300; ++i) {
+      const std::int64_t va = value(rng);
+      a.set(va);
+      ref.insert(va);
+      const std::int64_t vb = value(rng);
+      b.set(vb);
+      ref.insert(vb);
+    }
+    a |= b;
+    EXPECT_EQ(a.count(), ref.size());
+    const std::vector<std::int64_t> got = to_vector(a);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), ref.begin(), ref.end()));
+    for (const std::int64_t v : ref) EXPECT_TRUE(a.test(v)) << v;
+  }
+}
+
 }  // namespace
 }  // namespace mcs

@@ -108,5 +108,35 @@ TEST(BudgetTracker, NonPositiveBudgetRejected) {
   EXPECT_THROW(BudgetTracker(-5.0), Error);
 }
 
+// SubAccount runs the exact Neumaier recurrence pay() runs: feeding one
+// payment stream through both must leave identical (sum, comp) words.
+TEST(BudgetTrackerSubAccount, MirrorsTrackerRecurrenceBitExact) {
+  BudgetTracker tracker(1e9, /*strict=*/false);
+  BudgetTracker::SubAccount sub;
+  double x = 0.318309886;
+  for (int i = 0; i < 1000; ++i) {
+    // A deterministic mix of magnitudes, including payments far below one
+    // ulp of the accumulated total — the regime Neumaier exists for.
+    x = 4.0 * x * (1.0 - x);  // logistic map, stays in (0, 1)
+    const Money amount = (i % 7 == 0) ? 1e6 * x : 1e-8 * x;
+    tracker.pay(amount);
+    sub.add(amount);
+  }
+  EXPECT_EQ(tracker.spent_raw(), sub.sum);
+  EXPECT_EQ(tracker.compensation(), sub.comp);
+  EXPECT_EQ(tracker.spent(), sub.total());
+}
+
+TEST(BudgetTrackerSubAccount, ResetClearsBothWords) {
+  BudgetTracker::SubAccount sub;
+  sub.add(1e9);
+  sub.add(1e-9);
+  EXPECT_GT(sub.total(), 0.0);
+  sub.reset();
+  EXPECT_EQ(sub.sum, 0.0);
+  EXPECT_EQ(sub.comp, 0.0);
+  EXPECT_EQ(sub.total(), 0.0);
+}
+
 }  // namespace
 }  // namespace mcs::incentive

@@ -273,5 +273,33 @@ TEST_P(DemandBoundsProperty, AlwaysInRange) {
 INSTANTIATE_TEST_SUITE_P(Deadlines, DemandBoundsProperty,
                          ::testing::Values(1, 2, 5, 15, 40));
 
+// demands_into sweeps the raw store columns; it must equal the per-task
+// demand() view path bit for bit across progress states (fresh, partial,
+// completed, overfilled) and rounds (live, final, expired).
+TEST(DemandIndicator, ColumnSweepMatchesPerTaskDemandBitExact) {
+  const auto indicator = DemandIndicator::with_paper_defaults();
+  model::World world(geo::BoundingBox::square(1000.0), geo::TravelModel{},
+                     100.0);
+  world.add_task({100, 100}, /*deadline=*/3, /*required=*/4);   // fresh
+  world.add_task({200, 200}, 8, 3);                             // partial
+  world.add_task({300, 300}, 8, 2);                             // completed
+  world.add_task({400, 400}, 2, 1);                             // expires early
+  world.add_task({500, 500}, 8, 2);                             // overfilled
+  world.task(1).add_measurement(0, 1, 0.5);
+  world.task(2).add_measurement(0, 1, 0.5);
+  world.tasks()[2].add_measurement(1, 1, 0.5);
+  for (int i = 0; i < 3; ++i) world.tasks()[4].add_measurement(i, 1, 0.5);
+  const std::vector<int> counts = {0, 1, 2, 3, 1};
+  for (const Round k : {1, 2, 3, 8}) {
+    std::vector<double> swept;
+    indicator.demands_into(world, k, counts, swept);
+    ASSERT_EQ(swept.size(), world.num_tasks());
+    for (std::size_t i = 0; i < world.num_tasks(); ++i) {
+      EXPECT_EQ(swept[i], indicator.demand(world.tasks()[i], k, counts[i], 3))
+          << "task " << i << " round " << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mcs::incentive

@@ -85,5 +85,51 @@ TEST(World, ConstructionValidation) {
   EXPECT_THROW(World(geo::BoundingBox::square(10.0), bad, 1.0), Error);
 }
 
+// Sparse-id lookups go through the stores' lazily built id→row hash index
+// (model/store.h), not the historical O(n) scan: ids far from their row
+// positions must resolve, unknown ids must throw, and growing the store
+// must refresh the index.
+TEST(World, SparseIdLookupsResolveThroughRowIndex) {
+  World w = make_world();
+  w.tasks().emplace_back(TaskId{10}, geo::Point{100.0, 100.0}, 5, 2);
+  w.tasks().emplace_back(TaskId{20}, geo::Point{200.0, 200.0}, 6, 3);
+  w.tasks().emplace_back(TaskId{31}, geo::Point{300.0, 300.0}, 7, 4);
+  w.users().emplace_back(UserId{70}, geo::Point{10.0, 10.0}, 600.0);
+  w.users().emplace_back(UserId{10}, geo::Point{20.0, 20.0}, 600.0);
+  w.users().emplace_back(UserId{55}, geo::Point{30.0, 30.0}, 600.0);
+
+  EXPECT_EQ(w.task(10).deadline(), 5);
+  EXPECT_EQ(w.task(20).deadline(), 6);
+  EXPECT_EQ(w.task(31).deadline(), 7);
+  EXPECT_THROW(w.task(11), Error);
+  EXPECT_THROW(w.task(-1), Error);
+  EXPECT_EQ(w.user(70).home(), (geo::Point{10.0, 10.0}));
+  EXPECT_EQ(w.user(55).home(), (geo::Point{30.0, 30.0}));
+  EXPECT_THROW(w.user(0), Error);
+
+  // Growing the store invalidates the built index; the next lookup rebuilds.
+  w.tasks().emplace_back(TaskId{4}, geo::Point{400.0, 400.0}, 8, 5);
+  EXPECT_EQ(w.task(4).deadline(), 8);
+  EXPECT_EQ(w.task(10).deadline(), 5);
+
+  // An id overwritten in place (test-setup only) is found after the stale
+  // hit triggers the rebuild-once retry.
+  w.task_store_mut().id[3] = TaskId{99};
+  EXPECT_EQ(w.task(99).deadline(), 8);
+  EXPECT_THROW(w.task(4), Error);
+}
+
+// Dense ids take the id == row fast path and never build the hash index.
+TEST(World, DenseIdLookupsStayIndexFree) {
+  World w = make_world();
+  w.add_task({100, 100}, 10, 20);
+  w.add_task({200, 200}, 5, 10);
+  w.add_user({0, 0}, 600.0);
+  EXPECT_EQ(w.task(1).deadline(), 5);
+  EXPECT_EQ(w.user(0).time_budget(), 600.0);
+  EXPECT_EQ(w.task_store().row_index.built_size, static_cast<std::size_t>(-1));
+  EXPECT_EQ(w.user_store().row_index.built_size, static_cast<std::size_t>(-1));
+}
+
 }  // namespace
 }  // namespace mcs::model

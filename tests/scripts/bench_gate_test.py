@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_gate.py: best-of-N repetition folding and
+the regression comparison logic the bench gate rides on."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..",
+                    "scripts"))
+
+import bench_gate  # noqa: E402
+
+
+def capture(entries):
+    """A google-benchmark JSON doc from (name, run_type, fields) tuples."""
+    benchmarks = []
+    for name, run_type, fields in entries:
+        b = {"name": name, "run_type": run_type}
+        b.update(fields)
+        benchmarks.append(b)
+    return {"benchmarks": benchmarks}
+
+
+def write_doc(doc):
+    f = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", delete=False)
+    json.dump(doc, f)
+    f.close()
+    return f.name
+
+
+class LoadBenchmarksTest(unittest.TestCase):
+    def load(self, doc):
+        path = write_doc(doc)
+        try:
+            return bench_gate.load_benchmarks(path)
+        finally:
+            os.unlink(path)
+
+    def test_repetitions_keep_best_cpu_time(self):
+        loaded = self.load(capture([
+            ("BM_X/1", "iteration", {"cpu_time": 5.0}),
+            ("BM_X/1", "iteration", {"cpu_time": 3.0}),
+            ("BM_X/1", "iteration", {"cpu_time": 4.0}),
+        ]))
+        self.assertEqual(loaded["BM_X/1"]["cpu_time"], 3.0)
+
+    def test_repetitions_keep_best_items_per_second(self):
+        loaded = self.load(capture([
+            ("BM_X/1", "iteration", {"items_per_second": 10.0,
+                                     "cpu_time": 9.0}),
+            ("BM_X/1", "iteration", {"items_per_second": 30.0,
+                                     "cpu_time": 99.0}),
+        ]))
+        # Higher throughput wins even when its cpu_time is worse.
+        self.assertEqual(loaded["BM_X/1"]["items_per_second"], 30.0)
+
+    def test_aggregates_are_skipped(self):
+        loaded = self.load(capture([
+            ("BM_X/1", "iteration", {"cpu_time": 3.0}),
+            ("BM_X/1_mean", "aggregate", {"cpu_time": 4.0}),
+            ("BM_X/1_stddev", "aggregate", {"cpu_time": 1.0}),
+        ]))
+        self.assertEqual(sorted(loaded), ["BM_X/1"])
+
+    def test_repeats_suffix_is_normalized_away(self):
+        # A --benchmark_repetitions capture names entries with a
+        # "/repeats:N" suffix; they must still fold against (and gate
+        # against) a single-run baseline's plain names.
+        loaded = self.load(capture([
+            ("BM_X/1/repeats:3", "iteration", {"cpu_time": 5.0}),
+            ("BM_X/1/repeats:3", "iteration", {"cpu_time": 3.0}),
+            ("BM_X/1/repeats:3_mean", "aggregate", {"cpu_time": 4.0}),
+        ]))
+        self.assertEqual(sorted(loaded), ["BM_X/1"])
+        self.assertEqual(loaded["BM_X/1"]["cpu_time"], 3.0)
+
+    def test_merged_capture_unwraps_current(self):
+        loaded = self.load({
+            "current": capture([("BM_X/1", "iteration", {"cpu_time": 2.0})]),
+            "baseline_pre_pr": {"ignored": True},
+        })
+        self.assertEqual(loaded["BM_X/1"]["cpu_time"], 2.0)
+
+
+class CompareTest(unittest.TestCase):
+    def test_regression_beyond_threshold_fails(self):
+        fresh = {"BM_Campaign/1": {"items_per_second": 80.0}}
+        base = {"BM_Campaign/1": {"items_per_second": 100.0}}
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 1)
+        self.assertEqual(len(failures), 1)
+
+    def test_regression_within_threshold_passes(self):
+        fresh = {"BM_Campaign/1": {"items_per_second": 90.0}}
+        base = {"BM_Campaign/1": {"items_per_second": 100.0}}
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 1)
+        self.assertEqual(failures, [])
+
+    def test_cpu_time_direction_lower_is_better(self):
+        fresh = {"BM_Campaign/1": {"cpu_time": 130.0}}
+        base = {"BM_Campaign/1": {"cpu_time": 100.0}}
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 1)
+        self.assertEqual(len(failures), 1)
+        fresh = {"BM_Campaign/1": {"cpu_time": 80.0}}  # faster: fine
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(failures, [])
+
+    def test_series_regex_filters(self):
+        fresh = {"BM_Other/1": {"cpu_time": 900.0}}
+        base = {"BM_Other/1": {"cpu_time": 100.0}}
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 0)
+        self.assertEqual(failures, [])
+
+    def test_missing_baseline_series_is_skipped(self):
+        fresh = {"BM_Campaign/new": {"cpu_time": 50.0}}
+        checked, failures = bench_gate.compare(fresh, {}, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 0)
+        self.assertEqual(failures, [])
+
+    def test_best_of_n_masks_one_noisy_repetition(self):
+        # One slow repetition out of three must not fail the gate: compare
+        # sees only the folded best-of entries.
+        fresh_doc = capture([
+            ("BM_Campaign/1", "iteration", {"cpu_time": 101.0}),
+            ("BM_Campaign/1", "iteration", {"cpu_time": 250.0}),  # noise
+            ("BM_Campaign/1", "iteration", {"cpu_time": 99.0}),
+        ])
+        base_doc = capture([
+            ("BM_Campaign/1", "iteration", {"cpu_time": 100.0}),
+        ])
+        fresh_path, base_path = write_doc(fresh_doc), write_doc(base_doc)
+        try:
+            fresh = bench_gate.load_benchmarks(fresh_path)
+            base = bench_gate.load_benchmarks(base_path)
+        finally:
+            os.unlink(fresh_path)
+            os.unlink(base_path)
+        checked, failures = bench_gate.compare(fresh, base, 0.15,
+                                               r"^BM_Campaign/")
+        self.assertEqual(checked, 1)
+        self.assertEqual(failures, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

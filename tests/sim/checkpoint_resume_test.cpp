@@ -191,6 +191,61 @@ TEST(CheckpointResume, CheckpointCarriesItsOwnSimulatorParams) {
   EXPECT_EQ(ckpt.history.size(), 2u);
 }
 
+// Phase timers travel through the envelope: a resumed campaign's summary
+// reports whole-campaign phase times, not just the post-resume slice, and
+// the serialized params carry the legacy_commit oracle knob.
+TEST(CheckpointResume, PhaseTimersCarriedThroughCheckpoint) {
+  Rng rng(4242);
+  model::World world = generate_world(scenario(), rng);
+  Rng mech_rng = rng.split(0xfeed);
+  auto mechanism =
+      incentive::make_mechanism(incentive::MechanismKind::kOnDemand, world, {},
+                                mech_rng);
+  SimulatorParams sp = make_params(/*faults=*/false, /*plan_threads=*/1,
+                                   /*memo=*/false);
+  sp.phase_timers = true;
+  sp.legacy_commit = true;
+  Simulator s(std::move(world), std::move(mechanism),
+              select::make_selector(select::SelectorKind::kDp, 14), sp);
+  s.step();
+  s.step();
+  const std::string bytes = encode_checkpoint(s.checkpoint());
+  const CampaignCheckpoint back = decode_checkpoint(bytes);
+  EXPECT_TRUE(back.params.phase_timers);
+  EXPECT_TRUE(back.params.legacy_commit);
+  const double timed = back.phase_prepass_s + back.phase_plan_s +
+                       back.phase_reprice_s + back.phase_commit_s;
+  EXPECT_GT(timed, 0.0);
+  Simulator resumed = Simulator::resume(
+      back, fresh_mechanism(incentive::MechanismKind::kOnDemand),
+      select::make_selector(select::SelectorKind::kDp, 14));
+  resumed.step();
+  const CampaignMetrics m = resumed.summary();
+  // Cumulative across the teardown: the resumed round adds to the carried
+  // timers instead of restarting them at zero.
+  EXPECT_GE(m.phase_prepass_s + m.phase_plan_s + m.phase_reprice_s +
+                m.phase_commit_s,
+            timed);
+  EXPECT_GT(m.phase_commit_s, back.phase_commit_s);
+}
+
+// A pre-phase-timer payload (no "phase_seconds" key) must decode with
+// all-zero timers — the back-compat has() guard in checkpoint_from_json.
+TEST(CheckpointResume, PayloadWithoutPhaseSecondsDecodesWithZeros) {
+  Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
+                               false);
+  s.step();
+  Json j = checkpoint_to_json(s.checkpoint());
+  Json::Object o = j.as_object();
+  o.erase("phase_seconds");
+  const CampaignCheckpoint back = checkpoint_from_json(Json(std::move(o)));
+  EXPECT_EQ(back.phase_prepass_s, 0.0);
+  EXPECT_EQ(back.phase_plan_s, 0.0);
+  EXPECT_EQ(back.phase_reprice_s, 0.0);
+  EXPECT_EQ(back.phase_commit_s, 0.0);
+  EXPECT_EQ(back.next_round, 2);
+}
+
 TEST(CheckpointResume, MechanismNameMismatchRejected) {
   Simulator s = make_simulator(incentive::MechanismKind::kOnDemand, false, 1,
                                false);
