@@ -228,6 +228,46 @@ void BM_CampaignCommit(benchmark::State& state) {
   state.counters["max_rss_mb"] = max_rss_mb();
 }
 
+// Reprice-phase A/B on the sharded large-world workload: range(0) users,
+// shards fixed at 1 so nothing else contends for the pool, range(1) picks
+// the reprice path (0 = serial sweep, the default; 1 = reprice_threads=0,
+// i.e. one worker per hardware thread). The campaign is bit-identical
+// between the two (pinned by RepriceEquivalence), so the phase_reprice_s
+// delta between the series is exactly the sharded-sweep win. One campaign
+// per iteration for the same reason as BM_CampaignSharded. This is the
+// results/BENCH_campaign.json reprice_phase artifact.
+void BM_CampaignReprice(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  exp::ExperimentConfig cfg;
+  cfg.selector = select::SelectorKind::kGreedy;
+  cfg.scenario.num_users = users;
+  cfg.scenario.num_tasks = users / 10;
+  cfg.scenario.area_side = 30000.0 * std::sqrt(users / 100000.0);
+  cfg.mech_params.platform_budget =
+      3.0 * 20.0 * static_cast<double>(cfg.scenario.num_tasks);
+  cfg.max_rounds = 3;
+  cfg.shards = 1;
+  cfg.phase_timers = true;
+  cfg.reprice_threads = state.range(1) != 0 ? 0 : 1;
+  std::int64_t user_rounds = 0;
+  sim::CampaignMetrics last{};
+  for (auto _ : state) {
+    const exp::RepetitionResult rep = exp::run_repetition(cfg, 0xca3917a1ULL);
+    benchmark::DoNotOptimize(rep.campaign.total_paid);
+    user_rounds += static_cast<std::int64_t>(rep.rounds.size()) *
+                   cfg.scenario.num_users;
+    last = rep.campaign;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["user_rounds"] = benchmark::Counter(
+      static_cast<double>(user_rounds), benchmark::Counter::kIsRate);
+  state.counters["phase_prepass_s"] = last.phase_prepass_s;
+  state.counters["phase_plan_s"] = last.phase_plan_s;
+  state.counters["phase_reprice_s"] = last.phase_reprice_s;
+  state.counters["phase_commit_s"] = last.phase_commit_s;
+  state.counters["max_rss_mb"] = max_rss_mb();
+}
+
 void BM_CampaignThreaded(benchmark::State& state, select::SelectorKind kind) {
   exp::ExperimentConfig cfg =
       make_config(kind, static_cast<int>(state.range(0)));
@@ -285,6 +325,19 @@ BENCHMARK(BM_CampaignSharded)
 // plans poolless per cell) and does not fit time or memory at this scale.
 BENCHMARK(BM_CampaignSharded)
     ->ArgsProduct({{1000000}, {1, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+// Reprice A/B: serial (0) vs auto-threaded (1) at 100k and 1M users. The
+// 100k pair takes 3 single-iteration repetitions (the gate keeps the best),
+// the 1M pair one, like the other large-world runs; phase_reprice_s, not
+// the total wall time, is the artifact.
+BENCHMARK(BM_CampaignReprice)
+    ->ArgsProduct({{100000}, {0, 1}})
+    ->Iterations(1)
+    ->Repetitions(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignReprice)
+    ->ArgsProduct({{1000000}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 // Commit A/B: buffered (0) vs legacy (1) at 100k and 1M users. Single

@@ -153,6 +153,9 @@ PY
   # legacy commit path, plus the reduction against the committed HEAD
   # capture's BM_CampaignSharded shards=1 phase timers (the pre-PR release
   # numbers), so the commit-restructuring claim is auditable from one file.
+  # The BM_CampaignReprice pairs become a "reprice_phase" section in the
+  # same shape: reprice seconds for the serial vs the auto-threaded sweep
+  # plus the reduction against the HEAD capture's shards=1 reprice timer.
   if command -v python3 >/dev/null 2>&1; then
     HEAD_CAMPAIGN="$(mktemp)"
     git show HEAD:results/BENCH_campaign.json > "${HEAD_CAMPAIGN}" \
@@ -250,6 +253,42 @@ for users, entry in commit.items():
             head_phase[users] / buffered, 3)
 if commit:
     merged["commit_phase"] = commit
+
+# Reprice A/B: best (min) phase_reprice_s per series across the
+# single-iteration repetitions, serial (range(1)=0) vs auto-threaded.
+reprice = {}
+for b in cur.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_CampaignReprice" or len(parts) < 3:
+        continue
+    users, key = parts[1], "threaded" if parts[2] == "1" else "serial"
+    entry = reprice.setdefault(users, {})
+    t = b.get("phase_reprice_s", 0.0)
+    prev = entry.get(key + "_reprice_s")
+    entry[key + "_reprice_s"] = round(min(prev, t) if prev else t, 4)
+
+# Pre-PR reprice timers from the same HEAD shards=1 sharded runs.
+head_reprice = {}
+if os.path.getsize(head_path) > 0:
+    for b in head.get("benchmarks", []):
+        parts = b["name"].split("/")
+        if parts[0] == "BM_CampaignSharded" and len(parts) >= 3 \
+                and parts[2] == "1" and "phase_reprice_s" in b:
+            head_reprice[parts[1]] = b["phase_reprice_s"]
+
+for users, entry in reprice.items():
+    serial = entry.get("serial_reprice_s")
+    threaded = entry.get("threaded_reprice_s")
+    if serial and threaded:
+        entry["speedup_threaded_vs_serial"] = round(serial / threaded, 3)
+    if serial and head_reprice.get(users):
+        entry["prev_release_reprice_s"] = round(head_reprice[users], 4)
+        entry["reduction_vs_prev_release"] = round(
+            head_reprice[users] / serial, 3)
+if reprice:
+    merged["reprice_phase"] = reprice
 
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)

@@ -116,12 +116,12 @@ else
     -R 'DpEquivalence|PruneCandidatesInto|SolverEquivalence|DpSelector|PlanEquivalence|PlanMemo|RepriceEquivalence|OnDemandReprice|SteeredReprice|NeighborCache|BudgetTracker|CheckpointResume|CheckpointEnvelope|ShardEquivalence|CommitEquivalence'
   ./build-release/bench/bench_selector_scaling --benchmark_min_time=0.01 \
     --benchmark_filter='BM_DpSelector/14|BM_GreedySelector/14' >/dev/null
-  # BM_CampaignCommit joins the smoke set: a commit A/B bench that no
-  # longer builds or runs must fail tier-1, not bench day. Only the 100k
-  # buffered run (trailing slash keeps the 1M configs out — they are
-  # minutes of work and belong to bench day).
+  # BM_CampaignCommit and BM_CampaignReprice join the smoke set: an A/B
+  # bench that no longer builds or runs must fail tier-1, not bench day.
+  # Only the 100k serial/buffered runs (trailing slash keeps the 1M configs
+  # out — they are minutes of work and belong to bench day).
   ./build-release/bench/bench_campaign_throughput --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8|BM_CampaignCommit/100000/0/' >/dev/null
+    --benchmark_filter='BM_Campaign/greedy/50|BM_CampaignPlanThreads/100/8|BM_CampaignCommit/100000/0/|BM_CampaignReprice/100000/1/' >/dev/null
   # Checkpoint write/load smoke: a broken durability bench (or a checkpoint
   # layer that stopped round-tripping under -O3) fails tier-1 here.
   ./build-release/bench/bench_checkpoint --benchmark_min_time=0.01 \

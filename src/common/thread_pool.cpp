@@ -109,4 +109,31 @@ void parallel_for_each(int threads, std::size_t n,
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
+void parallel_ranges_impl(
+    ThreadPool* pool, int workers, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  // The parallel_ranges template front-end already took the serial exits
+  // (n == 0, null pool, workers <= 1, n == 1) without type-erasing fn.
+  const std::size_t w = std::min(static_cast<std::size_t>(workers), n);
+  if (w <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  for (std::size_t s = 0; s < w; ++s) {
+    pool->submit([&, s] {
+      try {
+        fn(s, s * n / w, (s + 1) * n / w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
 }  // namespace mcs

@@ -68,4 +68,41 @@ class ThreadPool {
 void parallel_for_each(int threads, std::size_t n,
                        const std::function<void(std::size_t)>& fn);
 
+/// Fan fn(range, lo, hi) out over `pool`, splitting [0, n) into
+/// min(workers, n) contiguous ranges at the s*n/w boundaries every sharded
+/// phase in this codebase standardizes on. Runs inline as one range
+/// (fn(0, 0, n)) when pool is null, workers <= 1 or n <= 1 — the serial
+/// path. Blocks until every range finished; the first exception fn threw is
+/// rethrown on the calling thread afterwards.
+///
+/// Determinism discipline: ranges are disjoint, so callers writing results
+/// into per-index slots get bit-identical output at any worker count;
+/// reductions store one partial per `range` slot and fold the slots
+/// serially after this returns (see DemandIndicator's Nmax reduction).
+/// `range` is always < min(workers, n) — but note the serial path delivers
+/// everything as range 0, so per-range slots must be initialized to the
+/// reduction's identity, not assumed all-written.
+///
+/// A template so the serial path invokes the callable directly: the
+/// steady-state repricing sweeps run through here every round and must not
+/// allocate (tier-1 gates allocs_per_iter=0), and wrapping a capturing
+/// lambda in std::function heap-allocates. Only the fan-out path (which
+/// allocates per-task queue nodes anyway) pays for the type erasure.
+void parallel_ranges_impl(
+    ThreadPool* pool, int workers, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+template <typename Fn>
+void parallel_ranges(ThreadPool* pool, int workers, std::size_t n, Fn&& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (pool == nullptr || workers <= 1 || n == 1) {
+    fn(static_cast<std::size_t>(0), static_cast<std::size_t>(0), n);
+    return;
+  }
+  parallel_ranges_impl(pool, workers, n, std::function<void(
+      std::size_t, std::size_t, std::size_t)>(std::forward<Fn>(fn)));
+}
+
 }  // namespace mcs

@@ -32,6 +32,16 @@ int plan_threads_default_from_env() {
   return parsed < 0 ? 1 : static_cast<int>(parsed);
 }
 
+// Default reprice-thread count when no --reprice-threads flag is given:
+// the MCS_REPRICE_THREADS environment variable if set, otherwise 1 (serial
+// repricing — same reasoning as plan threads).
+int reprice_threads_default_from_env() {
+  const char* env = std::getenv("MCS_REPRICE_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed < 0 ? 1 : static_cast<int>(parsed);
+}
+
 // Default for --plan-memo: the MCS_PLAN_MEMO environment variable ("1"
 // enables), otherwise off. Memoization never changes results; it is off by
 // default only because the stock panels' continuous user homes make hits
@@ -118,6 +128,10 @@ ExperimentConfig experiment_from_config(const Config& cfg) {
       cfg.get_int("plan-threads", plan_threads_default_from_env()));
   MCS_CHECK(e.plan_threads >= 0,
             "--plan-threads must be >= 0 (0 = all cores, 1 = serial)");
+  e.reprice_threads = static_cast<int>(
+      cfg.get_int("reprice-threads", reprice_threads_default_from_env()));
+  MCS_CHECK(e.reprice_threads >= 0,
+            "--reprice-threads must be >= 0 (0 = all cores, 1 = serial)");
   e.plan_memo = cfg.get_bool("plan-memo", plan_memo_default_from_env());
   e.shards = parse_shards(cfg.get_string("shards", shards_default_from_env()));
   e.phase_timers = cfg.get_bool("phase-timers", false);
@@ -262,6 +276,9 @@ void print_experiment_header(const ExperimentConfig& cfg,
             << " plan-threads="
             << (cfg.plan_threads == 0 ? std::string("auto")
                                       : std::to_string(cfg.plan_threads))
+            << " reprice-threads="
+            << (cfg.reprice_threads == 0 ? std::string("auto")
+                                         : std::to_string(cfg.reprice_threads))
             << " plan-memo=" << (cfg.plan_memo ? "on" : "off")
             << " shards="
             << (cfg.shards == sim::SimulatorParams::kAutoShards

@@ -36,6 +36,7 @@ sim::Simulator build_simulator(const ExperimentConfig& cfg, std::uint64_t seed,
   // of the repetition seed), so every repetition faults independently.
   sp.faults = cfg.faults;
   sp.plan_threads = cfg.plan_threads;
+  sp.reprice_threads = cfg.reprice_threads;
   sp.shards = cfg.shards;
   sp.phase_timers = cfg.phase_timers;
   sp.legacy_commit = cfg.legacy_commit;
@@ -112,7 +113,8 @@ Json repetition_provenance(const ExperimentConfig& cfg, std::uint64_t seed,
   o["max_rounds"] = Json(cfg.max_rounds);
   // Sharded on/off is part of the trajectory under stochastic mobility
   // (per-user substreams vs the serial draw stream); the shard *count* is
-  // bit-identity-neutral and stays out, like plan_threads.
+  // bit-identity-neutral and stays out, like plan_threads and
+  // reprice_threads.
   o["sharded"] = Json(cfg.shards != 0);
   Json::Object f;
   f["dropout_prob"] = Json(cfg.faults.dropout_prob);

@@ -46,6 +46,13 @@ struct ExperimentConfig {
   // repetition fan-out when there are many repetitions and plan threads
   // when a single large campaign dominates.
   int plan_threads = 1;
+  // Worker threads for each simulator's reprice phase
+  // (SimulatorParams::reprice_threads): 1 = serial (default), 0 = one per
+  // hardware thread, n = exactly n. The demand/level/reward sweep and a due
+  // neighbor-cache rebuild's count pass shard over them; campaigns stay
+  // bit-identical at any value. Benches expose it as --reprice-threads /
+  // MCS_REPRICE_THREADS. Composes with `threads` like plan_threads does.
+  int reprice_threads = 1;
   // Spatially sharded round execution (SimulatorParams::shards): 0 = the
   // legacy round loop (default), n >= 1 = sharded with n workers, -1 =
   // auto (one per hardware thread). Campaigns are bit-identical at any

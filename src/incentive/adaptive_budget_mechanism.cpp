@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mcs::incentive {
 
@@ -15,6 +16,7 @@ AdaptiveBudgetMechanism::AdaptiveBudgetMechanism(DemandIndicator indicator,
       budget_(budget),
       lambda_(lambda),
       r0_cap_factor_(r0_cap_factor) {
+  rewards_by_row_ = true;  // rewards_ is indexed by task position
   MCS_CHECK(budget > 0.0, "budget must be positive");
   MCS_CHECK(lambda >= 0.0, "lambda must be non-negative");
   MCS_CHECK(r0_cap_factor >= 1.0, "r0 cap factor must be at least 1");
@@ -22,13 +24,18 @@ AdaptiveBudgetMechanism::AdaptiveBudgetMechanism(DemandIndicator indicator,
 
 void AdaptiveBudgetMechanism::update_rewards(const model::World& world,
                                              Round k) {
-  // Remaining budget and still-missing measurements (useful ones only).
+  // Remaining budget and still-missing measurements (useful ones only),
+  // swept over the store columns (k > deadline is Task::expired_at()
+  // verbatim, measurement size is Task::received()).
   const Money spent = world.total_paid();
   const Money remaining = std::max(Money{0}, budget_ - spent);
+  const model::TaskStore& ts = world.task_store();
+  const std::size_t n = ts.size();
   long long missing = 0;
-  for (const model::Task& t : world.tasks()) {
-    if (t.expired_at(k)) continue;
-    missing += std::max(0, t.required() - t.received());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (k > ts.deadline[i]) continue;
+    missing += std::max(
+        0, ts.required[i] - static_cast<int>(ts.measurements[i].size()));
   }
 
   if (initial_r0_ == 0.0) {
@@ -51,17 +58,40 @@ void AdaptiveBudgetMechanism::update_rewards(const model::World& world,
   r0 = std::clamp(r0, initial_r0_, initial_r0_ * r0_cap_factor_);
   rule_ = std::make_unique<RewardRule>(r0, lambda_, scale_.levels());
 
-  const auto demands = indicator_.normalized_demands(world, k);
-  const auto levels = scale_.levels_for(demands);
-  rewards_.assign(world.num_tasks(), 0.0);
-  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
-    const model::Task& t = world.tasks()[i];
-    if (t.completed() || t.expired_at(k)) continue;
-    // Affordability guard: stop publishing rewards the remaining budget
-    // cannot honor for the task's missing measurements.
-    if (remaining <= 0.0) continue;
-    rewards_[i] = rule_->reward(levels[i]);
-  }
+  // Consume the journal for the synced counts and running Nmax (this
+  // mechanism is its world's single pricing consumer, and it recomputes in
+  // full every round, so taking — rather than peeking — is correct). Then
+  // one fused demand/level/reward sweep over the store columns, fanned over
+  // the reprice pool in disjoint task-row ranges: each row writes only its
+  // own slots, so any worker count is bit-identical. last_demands_ and
+  // last_levels_ are scratch (recomputed every round, never read across
+  // rounds), hence not part of the checkpoint state.
+  const model::World::NeighborDelta delta = world.take_neighbor_changes();
+  const std::vector<int>& counts = *delta.counts;
+  MCS_CHECK(counts.size() == n, "one neighbor count per task");
+  last_demands_.resize(n);
+  last_levels_.resize(n);
+  rewards_.resize(n);
+  const RewardRule& rule = *rule_;
+  parallel_ranges(
+      reprice_pool_, reprice_workers_, n,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const int received = static_cast<int>(ts.measurements[i].size());
+          const double d = indicator_.normalize(indicator_.demand_from_fields(
+              ts.deadline[i], ts.required[i], received, k, counts[i],
+              delta.max_count));
+          last_demands_[i] = d;
+          last_levels_[i] = scale_.level(d);
+          // Affordability guard: stop publishing rewards the remaining
+          // budget cannot honor for the task's missing measurements.
+          const bool withdrawn =
+              received >= ts.required[i] || k > ts.deadline[i];
+          rewards_[i] = (withdrawn || remaining <= 0.0)
+                            ? 0.0
+                            : rule.reward(last_levels_[i]);
+        }
+      });
 }
 
 Json AdaptiveBudgetMechanism::state_to_json() const {

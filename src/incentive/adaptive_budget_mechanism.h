@@ -49,6 +49,11 @@ class AdaptiveBudgetMechanism final : public IncentiveMechanism {
   Money r0_cap_factor_;
   Money initial_r0_ = 0.0;        // computed lazily at the first update
   std::unique_ptr<RewardRule> rule_;
+  // Scratch for the fused update sweep: fully recomputed every update, so
+  // reused only to keep steady-state repricing allocation-free. Not
+  // checkpoint state (nothing reads them across rounds).
+  std::vector<double> last_demands_;
+  std::vector<int> last_levels_;
 };
 
 }  // namespace mcs::incentive

@@ -17,6 +17,10 @@
 #include "common/types.h"
 #include "model/world.h"
 
+namespace mcs {
+class ThreadPool;
+}
+
 namespace mcs::incentive {
 
 class IncentiveMechanism {
@@ -59,6 +63,31 @@ class IncentiveMechanism {
 
   const std::vector<Money>& rewards() const { return rewards_; }
 
+  /// Workers available to the next update_rewards()/reprice() call. The
+  /// simulator points every mechanism at its reprice pool once per round;
+  /// mechanisms with a sharded sweep (on-demand, adaptive) fan their
+  /// per-task-row pricing out over it, the rest ignore it. pool = nullptr
+  /// or workers <= 1 restores the serial path. The pool must outlive the
+  /// pricing calls; the mechanism never owns it.
+  void set_reprice_workers(ThreadPool* pool, int workers) {
+    reprice_pool_ = pool;
+    reprice_workers_ = workers;
+  }
+
+  /// The reward table as a dense per-task-row snapshot, or nullptr when
+  /// rewards are not row-indexed. Mechanisms whose reward vector is indexed
+  /// by task *position* (all built-in ones) opt in via rewards_by_row_;
+  /// then (*reward_rows())[row] == reward(task id at row) for every row,
+  /// and the simulator's bulk phases (open-task scan, commit reward tables)
+  /// read the contiguous array instead of one virtual bounds-checked
+  /// reward() call per task. Custom mechanisms keeping an id-keyed table
+  /// (e.g. sparse task ids) leave the flag unset and keep the virtual path.
+  /// The pointer/values are valid until the next update_rewards(),
+  /// reprice() or restore_state() call.
+  const std::vector<Money>* reward_rows() const {
+    return rewards_by_row_ ? &rewards_ : nullptr;
+  }
+
   /// Serialize every field that influences future pricing decisions, for
   /// campaign checkpoints. The contract is bit-exactness: after
   /// restore_state(state_to_json()) on a mechanism constructed with the
@@ -85,6 +114,13 @@ class IncentiveMechanism {
   static std::vector<int> int_vector(const Json& array);
 
   std::vector<Money> rewards_;
+  // See reward_rows(): set true in the constructor of every mechanism whose
+  // rewards_ is indexed by task position.
+  bool rewards_by_row_ = false;
+  // See set_reprice_workers(): the sharded-sweep mechanisms hand these to
+  // parallel_ranges; (nullptr, 1) — the default — is the serial path.
+  ThreadPool* reprice_pool_ = nullptr;
+  int reprice_workers_ = 1;
 };
 
 enum class MechanismKind {

@@ -1,12 +1,15 @@
 #include "incentive/on_demand_mechanism.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace mcs::incentive {
 
 OnDemandMechanism::OnDemandMechanism(DemandIndicator indicator,
                                      DemandLevelScale scale, RewardRule rule)
-    : indicator_(std::move(indicator)), scale_(scale), rule_(rule) {}
+    : indicator_(std::move(indicator)), scale_(scale), rule_(rule) {
+  rewards_by_row_ = true;  // rewards_ is indexed by task position
+}
 
 void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
   // Consume the world's change journal: this full recompute (re)baselines
@@ -14,14 +17,34 @@ void OnDemandMechanism::update_rewards(const model::World& world, Round k) {
   // this publish must not leak into the next reprice's delta.
   const model::World::NeighborDelta delta = world.take_neighbor_changes();
   const std::vector<int>& counts = *delta.counts;
-  indicator_.normalized_demands_into(world, k, counts, last_demands_);
-  scale_.levels_into(last_demands_, last_levels_);
-  rewards_.assign(world.num_tasks(), 0.0);
-  for (std::size_t i = 0; i < world.num_tasks(); ++i) {
-    const model::Task& t = world.tasks()[i];
-    if (t.completed() || t.expired_at(k)) continue;  // withdrawn
-    rewards_[i] = rule_.reward(last_levels_[i]);
-  }
+  const model::TaskStore& ts = world.task_store();
+  const std::size_t n = ts.size();
+  MCS_CHECK(counts.size() == n, "one neighbor count per task");
+  last_demands_.resize(n);
+  last_levels_.resize(n);
+  rewards_.resize(n);
+  // Fused demand/level/reward sweep, fanned over the reprice pool in
+  // disjoint task-row ranges: one pass over the store columns instead of
+  // three (demands, levels, pricing), and every row writes only its own
+  // slots, so the result is bit-identical at any worker count. The per-row
+  // operation is exactly reprice_position's (demand_from_fields -> normalize
+  // -> level -> withdrawn-gated reward; received >= required / k > deadline
+  // are Task::completed()/expired_at() verbatim), keeping the incremental
+  // path's oracle this very function.
+  parallel_ranges(
+      reprice_pool_, reprice_workers_, n,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const int received = static_cast<int>(ts.measurements[i].size());
+          const double d = indicator_.normalize(indicator_.demand_from_fields(
+              ts.deadline[i], ts.required[i], received, k, counts[i],
+              delta.max_count));
+          last_demands_[i] = d;
+          last_levels_[i] = scale_.level(d);
+          const bool withdrawn = received >= ts.required[i] || k > ts.deadline[i];
+          rewards_[i] = withdrawn ? 0.0 : rule_.reward(last_levels_[i]);
+        }
+      });
   // The histogram-backed running max is the same integer max_element finds.
   last_max_neighbors_ = delta.max_count;
   last_round_ = k;

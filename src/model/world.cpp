@@ -168,23 +168,18 @@ bool World::neighbor_cache_usable() const {
 
 void World::rebuild_neighbor_grids() const {
   // Cell size = query radius keeps the scan at a 3x3 cell neighborhood.
+  // Both grids are frozen CSR snapshots of the position columns: the task
+  // grid stays exact until the next rebuild (task locations are immutable
+  // between rebuilds by the usable() contract), and the user grid is only
+  // read by the rebuild count pass below — user movement afterwards makes
+  // it stale, which is fine because the delta sync never consults it.
   const double cell =
       neighbor_radius_ > 0.0 ? neighbor_radius_ : area_.diameter();
-  ncache_.user_grid.emplace(area_, cell);
-  ncache_.task_grid.emplace(area_, cell);
-  ncache_.user_pos.resize(ustore_->size());
-  for (std::size_t i = 0; i < ustore_->size(); ++i) {
-    ncache_.user_pos[i] = ustore_->location[i];
-    ncache_.user_grid->insert(static_cast<std::int32_t>(i),
-                              ncache_.user_pos[i]);
-  }
-  ncache_.task_pos.resize(tstore_->size());
+  ncache_.user_pos.assign(ustore_->location.begin(), ustore_->location.end());
+  ncache_.user_grid = geo::FrozenGrid(area_, cell, ncache_.user_pos);
+  ncache_.task_pos.assign(tstore_->location.begin(), tstore_->location.end());
+  ncache_.task_grid = geo::FrozenGrid(area_, cell, ncache_.task_pos);
   ncache_.counts.resize(tstore_->size());
-  for (std::size_t i = 0; i < tstore_->size(); ++i) {
-    ncache_.task_pos[i] = tstore_->location[i];
-    ncache_.task_grid->insert(static_cast<std::int32_t>(i),
-                              ncache_.task_pos[i]);
-  }
 }
 
 void World::rebuild_neighbor_derived() const {
@@ -215,8 +210,8 @@ void World::rebuild_neighbor_cache() const {
   rebuild_neighbor_grids();
   for (std::size_t i = 0; i < tstore_->size(); ++i) {
     ncache_.counts[i] = static_cast<int>(
-        ncache_.user_grid->count_radius(ncache_.task_pos[i],
-                                        neighbor_radius_));
+        ncache_.user_grid.count_radius(ncache_.task_pos[i],
+                                       neighbor_radius_));
   }
   rebuild_neighbor_derived();
 }
@@ -228,10 +223,10 @@ void World::warm_neighbor_cache(ThreadPool& pool, int workers) const {
     rebuild_neighbor_cache();
     return;
   }
-  // Grid construction is serial (inserts mutate shared cell lists); the
+  // Grid construction is serial (the CSR counting sort is one pass); the
   // per-task counting — the O(T * users-in-3x3-cells) bulk of a rebuild —
-  // fans out over disjoint count slots against the read-only user grid,
-  // with the exact predicate of the serial rebuild.
+  // fans out over disjoint count slots against the frozen user grid, with
+  // the exact predicate of the serial rebuild.
   rebuild_neighbor_grids();
   const std::size_t n = tstore_->size();
   const auto w = static_cast<std::size_t>(workers);
@@ -241,8 +236,8 @@ void World::warm_neighbor_cache(ThreadPool& pool, int workers) const {
       const std::size_t hi = (s + 1) * n / w;
       for (std::size_t i = lo; i < hi; ++i) {
         ncache_.counts[i] = static_cast<int>(
-            ncache_.user_grid->count_radius(ncache_.task_pos[i],
-                                            neighbor_radius_));
+            ncache_.user_grid.count_radius(ncache_.task_pos[i],
+                                           neighbor_radius_));
       }
     });
   }
@@ -282,16 +277,17 @@ void World::sync_neighbor_cache() const {
   if (ncache_.touch_mark.size() != tstore_->size()) {
     ncache_.touch_mark.assign(tstore_->size(), 0);
   }
+  // Only the frozen task grid is consulted: the user grid is a rebuild-time
+  // artifact nobody reads between rebuilds, so a moved user costs two CSR
+  // radius queries and nothing else (the historical mutable user grid paid
+  // a cell-vector remove + insert per mover on top, for no reader).
   for (std::size_t i = 0; i < ustore_->size(); ++i) {
     const geo::Point now = ustore_->location[i];
     if (now == ncache_.user_pos[i]) continue;
-    ncache_.user_grid->remove(static_cast<std::int32_t>(i),
-                              ncache_.user_pos[i]);
-    ncache_.user_grid->insert(static_cast<std::int32_t>(i), now);
-    ncache_.task_grid->for_each_in_radius(
+    ncache_.task_grid.for_each_in_radius(
         ncache_.user_pos[i], neighbor_radius_,
         [&poke](std::int32_t t) { poke(t, -1); });
-    ncache_.task_grid->for_each_in_radius(
+    ncache_.task_grid.for_each_in_radius(
         now, neighbor_radius_, [&poke](std::int32_t t) { poke(t, +1); });
     ncache_.user_pos[i] = now;
   }

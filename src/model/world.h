@@ -14,7 +14,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -177,12 +176,21 @@ class World {
   UserList users_;
 
   // Lazily maintained neighbor-count cache (see neighbor_counts()).
+  //
+  // Both spatial indices are immutable CSR snapshots (geo::FrozenGrid)
+  // taken at rebuild time. The task grid stays exact between rebuilds by
+  // contract (task locations are immutable; any task/user set change forces
+  // a rebuild through neighbor_cache_usable()), and the delta sync queries
+  // only it. The user grid is consulted only during the rebuild count pass
+  // and goes stale as users move afterwards — nothing reads it between
+  // rebuilds, which is exactly why the sync no longer pays per-moved-user
+  // remove/insert maintenance the old mutable grid demanded.
   struct NeighborCache {
     bool valid = false;
-    std::optional<geo::SpatialGrid> user_grid;  // ids are user positions
-    std::optional<geo::SpatialGrid> task_grid;  // ids are task positions
-    std::vector<geo::Point> user_pos;           // last-synced user locations
-    std::vector<geo::Point> task_pos;           // task set at build time
+    geo::FrozenGrid user_grid;         // ids are user positions
+    geo::FrozenGrid task_grid;         // ids are task positions
+    std::vector<geo::Point> user_pos;  // last-synced user locations
+    std::vector<geo::Point> task_pos;  // task set at build time
     std::vector<int> counts;                    // one per task position
     // Running max: count_freq[c] = number of tasks with count c; max_count
     // tracks the largest non-empty bucket (0 when there are no tasks).

@@ -59,6 +59,7 @@ Json params_to_json(const SimulatorParams& p) {
   faults["seed"] = Json(hex_u64(p.faults.seed));
   o["faults"] = Json(std::move(faults));
   o["plan_threads"] = Json(p.plan_threads);
+  o["reprice_threads"] = Json(p.reprice_threads);
   o["shards"] = Json(p.shards);
   o["phase_timers"] = Json(p.phase_timers);
   o["legacy_commit"] = Json(p.legacy_commit);
@@ -91,6 +92,10 @@ SimulatorParams params_from_json(const Json& j) {
   MCS_CHECK(p.plan_threads >= 0, "plan_threads must be non-negative");
   // Added after the first checkpoint format shipped; absent keys keep the
   // defaults so older checkpoints stay loadable.
+  if (j.has("reprice_threads")) {
+    p.reprice_threads = static_cast<int>(j.at("reprice_threads").as_int());
+    MCS_CHECK(p.reprice_threads >= 0, "reprice_threads must be non-negative");
+  }
   if (j.has("shards")) {
     p.shards = static_cast<int>(j.at("shards").as_int());
     MCS_CHECK(p.shards >= SimulatorParams::kAutoShards,

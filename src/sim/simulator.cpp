@@ -48,14 +48,26 @@ double mono_seconds() {
       .count();
 }
 
+// The mechanism's reward table as a dense per-task-row snapshot when it
+// publishes one of the right size, else nullptr. The bulk phases below read
+// rows[i] from the contiguous array instead of paying a virtual
+// bounds-checked reward(id) call per task; mechanisms without a row-indexed
+// table (custom id-keyed ones) keep the virtual path.
+const std::vector<Money>* reward_rows_of(
+    const incentive::IncentiveMechanism& mechanism, std::size_t num_tasks) {
+  const std::vector<Money>* rows = mechanism.reward_rows();
+  return rows != nullptr && rows->size() == num_tasks ? rows : nullptr;
+}
+
 std::vector<bool> open_tasks(const model::World& world,
                              const incentive::IncentiveMechanism& mechanism,
                              Round k) {
+  const std::vector<Money>* rows = reward_rows_of(mechanism, world.num_tasks());
   std::vector<bool> open(world.num_tasks(), false);
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
     const model::Task& t = world.tasks()[i];
-    open[i] =
-        !t.completed() && !t.expired_at(k) && mechanism.reward(t.id()) > 0.0;
+    const Money r = rows != nullptr ? (*rows)[i] : mechanism.reward(t.id());
+    open[i] = !t.completed() && !t.expired_at(k) && r > 0.0;
   }
   return open;
 }
@@ -69,11 +81,13 @@ std::vector<bool> open_tasks(const model::World& world,
 std::shared_ptr<const select::CandidatePool> build_round_pool(
     const model::World& world, const incentive::IncentiveMechanism& mechanism,
     const std::vector<bool>& open) {
+  const std::vector<Money>* rows = reward_rows_of(mechanism, world.num_tasks());
   std::vector<select::Candidate> candidates;
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
     if (!open[i]) continue;
     const model::Task& t = world.tasks()[i];
-    candidates.push_back({t.id(), t.location(), mechanism.reward(t.id())});
+    const Money r = rows != nullptr ? (*rows)[i] : mechanism.reward(t.id());
+    candidates.push_back({t.id(), t.location(), r});
   }
   return std::make_shared<const select::CandidatePool>(std::move(candidates));
 }
@@ -88,13 +102,18 @@ select::SelectionInstance make_instance(
   inst.travel = world.travel();
   inst.time_budget = time_budget;
   inst.pool = std::move(pool);
+  // Fetched per instance, so intra-round repricing between sessions is
+  // visible here too: the row table aliases the mechanism's live reward
+  // vector, it is not a copy.
+  const std::vector<Money>* rows = reward_rows_of(mechanism, world.num_tasks());
   std::int32_t pool_row = -1;
   for (std::size_t i = 0; i < world.num_tasks(); ++i) {
     if (!open[i]) continue;
     ++pool_row;  // every open task owns one pool row, contributed or not
     const model::Task& t = world.tasks()[i];
     if (t.has_contributed(u.id())) continue;
-    const Money reward = mechanism.reward(t.id());
+    const Money reward =
+        rows != nullptr ? (*rows)[i] : mechanism.reward(t.id());
     if (reward <= 0.0) continue;
     inst.candidates.push_back({t.id(), t.location(), reward});
     inst.pool_index.push_back(pool_row);
@@ -572,12 +591,18 @@ void Simulator::run_sessions_planned(
                      /*dirty=*/nullptr);
     }
   } else {
-    // Freeze the round prices into a dense per-row snapshot: one virtual
-    // reward() call per open task instead of one per walked leg.
+    // Freeze the round prices into a dense per-row snapshot — straight from
+    // the mechanism's row table when it publishes one, else one virtual
+    // reward() call per open task (instead of one per walked leg).
     const model::TaskStore& ts = world_.task_store();
+    const std::vector<Money>* rows =
+        reward_rows_of(*mechanism_, world_.num_tasks());
     commit_reward_.assign(world_.num_tasks(), 0.0);
     for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
-      if (open[i]) commit_reward_[i] = mechanism_->reward(ts.id[i]);
+      if (open[i]) {
+        commit_reward_[i] =
+            rows != nullptr ? (*rows)[i] : mechanism_->reward(ts.id[i]);
+      }
     }
     commit_sessions(k, visit_order, dropped, plans, feasible, commit_reward_,
                     rm);
@@ -740,14 +765,17 @@ bool Simulator::run_sessions_sharded(
     }
   }
 
-  // --- Frozen round state: prices cached per task position (one virtual
+  // --- Frozen round state: prices cached per task position (read from the
+  // mechanism's dense row table when it publishes one; else one virtual
   // call per open task instead of one per candidate per user) and a spatial
   // index over the open tasks for reach-local candidate gathering.
+  const std::vector<Money>* price_rows = reward_rows_of(*mechanism_, n_tasks);
   shard_reward_.assign(n_tasks, 0.0);
   geo::SpatialGrid task_grid(area, cell);
   for (std::size_t i = 0; i < n_tasks; ++i) {
     if (!open[i]) continue;
-    const Money r = mechanism_->reward(ts.id[i]);
+    const Money r =
+        price_rows != nullptr ? (*price_rows)[i] : mechanism_->reward(ts.id[i]);
     if (r <= 0.0) continue;
     shard_reward_[i] = r;
     task_grid.insert(static_cast<std::int32_t>(i), ts.location[i]);
@@ -944,8 +972,23 @@ const RoundMetrics& Simulator::step() {
     }
   }
 
-  // (1)+(2) Platform updates and publishes rewards for round k.
+  // (1)+(2) Platform updates and publishes rewards for round k. With
+  // reprice workers configured, a due neighbor-cache rebuild fans its count
+  // pass over the dedicated reprice pool and the mechanism's sweep shards
+  // over the same workers — both are reprice work, so both sit inside the
+  // phase timer (unlike the sharded loop's untimed front-loaded warm above,
+  // which belongs to the plan workers and predates this knob).
   double t0 = timed ? mono_seconds() : 0.0;
+  const int reprice_workers = resolve_threads(params_.reprice_threads);
+  if (reprice_workers > 1) {
+    if (reprice_pool_ == nullptr || reprice_pool_->size() != reprice_workers) {
+      reprice_pool_ = std::make_unique<ThreadPool>(reprice_workers);
+    }
+    world_.warm_neighbor_cache(*reprice_pool_, reprice_workers);
+    mechanism_->set_reprice_workers(reprice_pool_.get(), reprice_workers);
+  } else {
+    mechanism_->set_reprice_workers(nullptr, 1);
+  }
   mechanism_->update_rewards(world_, k);
   if (timed) phase_.reprice += mono_seconds() - t0;
 
@@ -965,11 +1008,16 @@ const RoundMetrics& Simulator::step() {
   // mechanisms these are exactly the prices every user of the round faces;
   // intra-round mechanisms reprice before each session, so their published
   // mean is re-recorded from the session prices below.
+  const std::vector<Money>* price_rows =
+      reward_rows_of(*mechanism_, world_.num_tasks());
   for (std::size_t i = 0; i < world_.num_tasks(); ++i) {
     if (!open[i]) continue;
-    // Query by the task's id, not its vector position — ids need not be
-    // dense (same bug class as the DemandIndicator position/id mixup).
-    rm.mean_open_reward += mechanism_->reward(world_.tasks()[i].id());
+    // Without a row snapshot, query by the task's id, not its vector
+    // position — ids need not be dense (same bug class as the
+    // DemandIndicator position/id mixup).
+    rm.mean_open_reward += price_rows != nullptr
+                               ? (*price_rows)[i]
+                               : mechanism_->reward(world_.tasks()[i].id());
     ++rm.open_tasks;
   }
   if (rm.open_tasks > 0) rm.mean_open_reward /= rm.open_tasks;

@@ -77,6 +77,16 @@ struct SimulatorParams {
   // to the legacy loop (exactly like plan_threads).
   int shards = 0;
   static constexpr int kAutoShards = -1;
+  // Worker threads for the reprice phase: the mechanism's demand/level/
+  // reward sweep and, when a neighbor-cache rebuild is due, the cache's
+  // per-task count pass. 1 = serial (default); 0 = one worker per hardware
+  // thread; n = exactly n. The sweep partitions into disjoint task-row
+  // ranges with a two-pass deterministic Nmax reduction, so campaigns are
+  // bit-identical at any value (pinned by the reprice-equivalence suite,
+  // including under TSan). Uses a dedicated pool so the plan/shard worker
+  // counts stay independent knobs; mechanisms without a sharded sweep
+  // simply ignore the workers.
+  int reprice_threads = 1;
   // Record cumulative wall-clock seconds of the round phases (pre-pass /
   // plan / reprice / commit) into CampaignMetrics. Off by default: the
   // timer reads are cheap but nonzero, and the fields are diagnostics.
@@ -260,6 +270,11 @@ class Simulator {
   // first parallel round and reused across rounds.
   std::unique_ptr<ThreadPool> plan_pool_;
   std::vector<std::unique_ptr<select::TaskSelector>> plan_selectors_;
+  // Reprice-phase workers (params_.reprice_threads > 1 after resolution),
+  // created on first use and reused across rounds. Separate from plan_pool_
+  // so resizing one phase's worker count never thrashes the other's
+  // selector clones.
+  std::unique_ptr<ThreadPool> reprice_pool_;
   // Cross-user plan memo (params_.memo); table rebuilt per round, stats
   // cumulative over the campaign.
   select::PlanMemo plan_memo_;

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "incentive/demand.h"
 #include "incentive/demand_level.h"
 #include "incentive/on_demand_mechanism.h"
@@ -176,6 +177,59 @@ TEST(OnDemandReprice, ConsecutiveFastPathsEachConsumeTheirOwnDelta) {
   w.users()[2].set_location({900.0, 320.0});  // back: task 2 -> task 1
   m.reprice(w, 1, {});
   EXPECT_EQ(m.last_reprice_touched(), 2u);
+  expect_matches_full(m, w, 1);
+}
+
+TEST(OnDemandReprice, ShardedUpdateMatchesSerialBitForBit) {
+  // The fused demand/level/reward sweep fans over the reprice pool in
+  // disjoint row ranges; every published double must match the serial
+  // sweep exactly, at any worker count (including workers > tasks).
+  model::World w = make_world();
+  OnDemandMechanism serial = make_on_demand();
+  serial.update_rewards(w, 1);
+  for (const int workers : {2, 8}) {
+    SCOPED_TRACE(workers);
+    ThreadPool pool(workers);
+    OnDemandMechanism m = make_on_demand();
+    m.set_reprice_workers(&pool, workers);
+    m.update_rewards(w, 1);
+    EXPECT_EQ(m.rewards(), serial.rewards());
+    EXPECT_EQ(m.last_normalized_demands(), serial.last_normalized_demands());
+    EXPECT_EQ(m.last_levels(), serial.last_levels());
+  }
+}
+
+TEST(OnDemandReprice, SparseTaskIdsPriceByPosition) {
+  // Worlds assembled through the mutable tasks() accessor may carry
+  // arbitrary (non-dense) ids. The mechanism's whole pipeline — publish,
+  // dirty reprice, journal replay — is position-indexed, so sparse ids must
+  // price exactly like the dense world with the same geometry.
+  model::World w(geo::BoundingBox::square(3000.0), geo::TravelModel{}, 500.0);
+  w.tasks().emplace_back(TaskId{40}, geo::Point{300.0, 300.0}, Round{8}, 4);
+  w.tasks().emplace_back(TaskId{17}, geo::Point{900.0, 300.0}, Round{8}, 4);
+  w.tasks().emplace_back(TaskId{93}, geo::Point{1500.0, 300.0}, Round{8}, 4);
+  w.add_user({300.0, 320.0}, 600.0);
+  w.add_user({300.0, 280.0}, 600.0);
+  w.add_user({900.0, 320.0}, 600.0);
+
+  OnDemandMechanism m = make_on_demand();
+  m.update_rewards(w, 1);
+  expect_matches_full(m, w, 1);
+
+  model::World dense = make_world();  // same geometry, ids 0..2
+  OnDemandMechanism dense_m = make_on_demand();
+  dense_m.update_rewards(dense, 1);
+  EXPECT_EQ(m.rewards(), dense_m.rewards());
+
+  // The row snapshot is published (built-in mechanisms are row-indexed),
+  // and reward-by-id would reject these out-of-range ids — the snapshot is
+  // what lets the simulator's bulk phases price sparse worlds at all.
+  ASSERT_NE(m.reward_rows(), nullptr);
+  EXPECT_EQ(*m.reward_rows(), m.rewards());
+
+  // Dirty reprice stays position-indexed too.
+  w.tasks()[1].add_measurement(UserId{5}, 1, 1.0);
+  m.reprice(w, 1, {1});
   expect_matches_full(m, w, 1);
 }
 

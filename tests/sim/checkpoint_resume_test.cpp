@@ -205,6 +205,7 @@ TEST(CheckpointResume, PhaseTimersCarriedThroughCheckpoint) {
                                    /*memo=*/false);
   sp.phase_timers = true;
   sp.legacy_commit = true;
+  sp.reprice_threads = 3;
   Simulator s(std::move(world), std::move(mechanism),
               select::make_selector(select::SelectorKind::kDp, 14), sp);
   s.step();
@@ -213,6 +214,9 @@ TEST(CheckpointResume, PhaseTimersCarriedThroughCheckpoint) {
   const CampaignCheckpoint back = decode_checkpoint(bytes);
   EXPECT_TRUE(back.params.phase_timers);
   EXPECT_TRUE(back.params.legacy_commit);
+  // reprice_threads rides the same params envelope (it is bit-identity-
+  // neutral, but the checkpoint pins the knobs it ran with).
+  EXPECT_EQ(back.params.reprice_threads, 3);
   const double timed = back.phase_prepass_s + back.phase_plan_s +
                        back.phase_reprice_s + back.phase_commit_s;
   EXPECT_GT(timed, 0.0);

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "incentive/adaptive_budget_mechanism.h"
+#include "incentive/demand.h"
+#include "incentive/demand_level.h"
 #include "incentive/mechanism.h"
 #include "incentive/steered_mechanism.h"
 #include "model/world.h"
@@ -34,12 +37,14 @@ struct CampaignRun {
   std::vector<sim::RoundMetrics> rounds;
   Money spent = 0.0;
   std::string world_json;
+  std::string events_json;
 };
 
 CampaignRun run_campaign(incentive::MechanismKind kind, bool faults,
                          int plan_threads,
                          std::unique_ptr<incentive::IncentiveMechanism>
-                             mechanism_override = nullptr) {
+                             mechanism_override = nullptr,
+                         int reprice_threads = 1) {
   sim::ScenarioParams p;
   p.num_users = 30;
   p.num_tasks = 12;
@@ -54,6 +59,8 @@ CampaignRun run_campaign(incentive::MechanismKind kind, bool faults,
   sim::SimulatorParams sp;
   sp.max_rounds = 8;
   sp.plan_threads = plan_threads;
+  sp.reprice_threads = reprice_threads;
+  sp.record_events = true;
   if (faults) sp.faults = stress_faults();
   sim::Simulator s(std::move(world), std::move(mechanism),
                    std::move(selector), sp);
@@ -62,13 +69,17 @@ CampaignRun run_campaign(incentive::MechanismKind kind, bool faults,
   out.rounds = s.history();
   out.spent = s.budget().spent();
   out.world_json = sim::world_to_json(s.world()).dump(2);
+  out.events_json = sim::events_to_json(s.events()).dump();
   return out;
 }
 
 void expect_bit_identical(const CampaignRun& a, const CampaignRun& b) {
   // The serialized end world catches every task/user divergence byte for
-  // byte; the round histories catch ordering/accounting divergences.
+  // byte; the event trace catches per-measurement divergences even when
+  // they cancel out in the end state; the round histories catch
+  // ordering/accounting divergences.
   EXPECT_EQ(a.world_json, b.world_json);
+  EXPECT_EQ(a.events_json, b.events_json);
   EXPECT_EQ(a.spent, b.spent);
   ASSERT_EQ(a.rounds.size(), b.rounds.size());
   for (std::size_t k = 0; k < a.rounds.size(); ++k) {
@@ -85,6 +96,15 @@ void expect_bit_identical(const CampaignRun& a, const CampaignRun& b) {
     EXPECT_EQ(ra.wasted_travel, rb.wasted_travel) << "round " << k;
     EXPECT_EQ(ra.user_profit, rb.user_profit) << "round " << k;
   }
+}
+
+// The adaptive-budget mechanism is not a MechanismKind (it is our
+// extension, built directly); the scenario's budget keeps its Eq. 9 base
+// reward positive (1000 / (12*6) - 0.5*4 > 0).
+std::unique_ptr<incentive::IncentiveMechanism> make_adaptive() {
+  return std::make_unique<incentive::AdaptiveBudgetMechanism>(
+      incentive::DemandIndicator::with_paper_defaults(),
+      incentive::DemandLevelScale(5), /*budget=*/1000.0, /*lambda=*/0.5);
 }
 
 // {fixed, on-demand, steered} x {no faults, faulted} x plan threads {2, 8}
@@ -111,6 +131,22 @@ TEST(PlanEquivalence, AutoThreadCountBitIdentical) {
       run_campaign(incentive::MechanismKind::kOnDemand, true, 1);
   expect_bit_identical(
       serial, run_campaign(incentive::MechanismKind::kOnDemand, true, 0));
+}
+
+// Same plan-thread matrix for the adaptive-budget mechanism (it rides the
+// round-granularity planned path like on-demand does).
+TEST(PlanEquivalence, AdaptiveBudgetCampaignsBitIdentical) {
+  for (const bool faults : {false, true}) {
+    const CampaignRun serial = run_campaign(
+        incentive::MechanismKind::kOnDemand, faults, 1, make_adaptive());
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(std::string(faults ? "faults" : "clean") +
+                   "/threads=" + std::to_string(threads));
+      expect_bit_identical(
+          serial, run_campaign(incentive::MechanismKind::kOnDemand, faults,
+                               threads, make_adaptive()));
+    }
+  }
 }
 
 // A selector that predates the clone() hook: the simulator must fall back
@@ -199,6 +235,41 @@ class FullRepriceSteered final : public incentive::SteeredMechanism {
     update_rewards(world, k);
   }
 };
+
+// The reprice-sharding contract: {fixed, on-demand, steered, adaptive} x
+// {clean, faulted} campaigns are bit-identical at reprice worker counts
+// {2, 8, auto} against the serial run — end world JSON, full event trace,
+// per-round metrics and the exact budget doubles. On-demand and adaptive
+// exercise the fused sharded sweep (adaptive through the journal-consuming
+// path); fixed ignores the workers; steered pins that intra-round
+// mechanisms only see the pool at their round-start publish while the
+// per-session reprices stay serial.
+TEST(RepriceEquivalence, CampaignsBitIdenticalAtAnyWorkerCount) {
+  for (const bool faults : {false, true}) {
+    for (const auto kind :
+         {incentive::MechanismKind::kFixed, incentive::MechanismKind::kOnDemand,
+          incentive::MechanismKind::kSteered}) {
+      const CampaignRun serial = run_campaign(kind, faults, 1, nullptr, 1);
+      for (const int workers : {2, 8, 0}) {
+        SCOPED_TRACE(std::string(incentive::mechanism_name(kind)) +
+                     (faults ? "/faults" : "/clean") + "/reprice_threads=" +
+                     std::to_string(workers));
+        expect_bit_identical(serial,
+                             run_campaign(kind, faults, 1, nullptr, workers));
+      }
+    }
+    const CampaignRun serial = run_campaign(incentive::MechanismKind::kOnDemand,
+                                            faults, 1, make_adaptive(), 1);
+    for (const int workers : {2, 8, 0}) {
+      SCOPED_TRACE(std::string("on-demand-adaptive") +
+                   (faults ? "/faults" : "/clean") + "/reprice_threads=" +
+                   std::to_string(workers));
+      expect_bit_identical(serial,
+                           run_campaign(incentive::MechanismKind::kOnDemand,
+                                        faults, 1, make_adaptive(), workers));
+    }
+  }
+}
 
 TEST(RepriceEquivalence, SteeredIncrementalMatchesFullRecompute) {
   for (const bool faults : {false, true}) {
